@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test vet bench experiments fuzz cover
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Benchmarks: one per paper table/figure plus kernel/ablation benches.
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (about 4 CPU-minutes).
+experiments:
+	go run ./cmd/experiments -charts
+
+fuzz:
+	go test ./internal/io -fuzz FuzzReadEdgeList -fuzztime 30s
+	go test ./internal/io -fuzz FuzzReadMatrixMarket -fuzztime 30s
+	go test ./internal/core -fuzz FuzzEstimatePipeline -fuzztime 60s
+
+cover:
+	go test -coverprofile=cover.out ./...
+	go tool cover -func=cover.out | tail -5

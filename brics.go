@@ -1,0 +1,218 @@
+// Package brics is the public API of the BRICS farness-centrality library,
+// a from-scratch Go reproduction of "BRICS – Efficient Techniques for
+// Estimating the Farness-Centrality in Parallel" (Regunta, Tondomker,
+// Kothapalli; IPDPS workshops 2019).
+//
+// The farness of a node v in a connected undirected graph is the sum of
+// shortest-path distances from v to every other node (its inverse is the
+// closeness centrality). Exact computation needs one BFS per node; BRICS
+// estimates all n values from k ≪ n traversals after shrinking the graph
+// with four structure-exploiting reductions:
+//
+//	B — decompose into Biconnected components and aggregate across the
+//	    block cut-vertex tree,
+//	R — remove Redundant 3/4-degree nodes,
+//	I — remove Identical (twin) nodes,
+//	C — contract Chains of degree-≤2 nodes,
+//	S — Sample traversal sources inside each component.
+//
+// Quick start:
+//
+//	g, err := brics.LoadGraph("soc-Slashdot0811.txt.gz")
+//	g = brics.Connect(g)
+//	res, err := brics.Estimate(g, brics.Options{
+//		Techniques:     brics.TechCumulative,
+//		SampleFraction: 0.2,
+//	})
+//	fmt.Println(res.Farness[0], res.Exact[0])
+//
+// See the examples/ directory for runnable scenarios and DESIGN.md for the
+// architecture and the paper-experiment index.
+package brics
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/betweenness"
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	repro_io "repro/internal/io"
+	"repro/internal/topk"
+)
+
+// Graph is a simple undirected graph in CSR form (see Builder and
+// LoadGraph for construction).
+type Graph = graph.Graph
+
+// NodeID identifies a node: dense int32 values in [0, NumNodes()).
+type NodeID = graph.NodeID
+
+// Builder accumulates edges and produces a normalised Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// NewGrowingBuilder returns a Builder that grows its node range with the
+// edges it sees.
+func NewGrowingBuilder() *Builder { return graph.NewGrowingBuilder() }
+
+// FromEdges builds a graph with n nodes from an edge list; it panics on
+// out-of-range endpoints (intended for literals and tests).
+func FromEdges(n int, edges [][2]NodeID) *Graph { return graph.FromEdges(n, edges) }
+
+// Connect adds the minimum number of edges needed to make g connected —
+// the paper's preprocessing for disconnected inputs. Connected graphs are
+// returned unchanged.
+func Connect(g *Graph) *Graph { return graph.Connect(g) }
+
+// IsConnected reports whether g is connected.
+func IsConnected(g *Graph) bool { return graph.IsConnected(g) }
+
+// LoadGraph reads a graph file (SNAP edge list or Matrix Market .mtx,
+// optionally .gz) and normalises it to a simple undirected graph.
+func LoadGraph(path string) (*Graph, error) { return repro_io.ReadFile(path) }
+
+// ReadEdgeList parses a SNAP-style edge list from r.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return repro_io.ReadEdgeList(r) }
+
+// WriteEdgeList writes g as an edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return repro_io.WriteEdgeList(w, g) }
+
+// Technique selects BRICS optimisations (bitmask).
+type Technique = core.Technique
+
+// Technique flags; combine with |. TechCumulative is the paper's full
+// configuration.
+const (
+	TechIdentical  = core.TechIdentical
+	TechChains     = core.TechChains
+	TechRedundant  = core.TechRedundant
+	TechBiCC       = core.TechBiCC
+	TechCR         = core.TechCR
+	TechICR        = core.TechICR
+	TechCumulative = core.TechCumulative
+)
+
+// EstimatorKind selects the extrapolation rule for unsampled nodes.
+type EstimatorKind = core.EstimatorKind
+
+// Estimator kinds.
+const (
+	// EstimatorWeighted (default) calibrates the extrapolation with the
+	// sample rows' distance offsets.
+	EstimatorWeighted = core.EstimatorWeighted
+	// EstimatorPaper is the literal (population−1)/k scaling.
+	EstimatorPaper = core.EstimatorPaper
+)
+
+// Options configures Estimate; the zero value runs pure sampling at the
+// paper's default 20% fraction.
+type Options = core.Options
+
+// Result of an estimation run: per-node farness, exactness flags and run
+// statistics.
+type Result = core.Result
+
+// RunStats describes what an estimation run did (reductions, blocks,
+// samples, timings).
+type RunStats = core.RunStats
+
+// Estimate runs the BRICS estimator on a connected graph.
+func Estimate(g *Graph, opts Options) (*Result, error) { return core.Estimate(g, opts) }
+
+// ExactFarness computes exact farness for every node with one parallel
+// traversal per node — the ground truth, O(n·m) work.
+func ExactFarness(g *Graph, workers int) []float64 { return core.ExactFarness(g, workers) }
+
+// RandomSampling is the baseline estimator (the paper's Algorithm 1):
+// uniform sources on the unreduced graph.
+func RandomSampling(g *Graph, fraction float64, workers int, seed int64) *Result {
+	return core.RandomSampling(g, fraction, workers, seed)
+}
+
+// Closeness converts farness values to closeness centralities 1/farness
+// (0 where farness is 0).
+func Closeness(farness []float64) []float64 {
+	out := make([]float64, len(farness))
+	for i, f := range farness {
+		if f > 0 {
+			out[i] = 1 / f
+		}
+	}
+	return out
+}
+
+// Generators for the four graph classes of the paper's evaluation
+// (synthetic stand-ins; see internal/gen and DESIGN.md).
+var (
+	// GenerateWeb builds a web-graph-like input (many twins and chains,
+	// fragmented biconnected structure).
+	GenerateWeb = gen.Web
+	// GenerateSocial builds a social-network-like input.
+	GenerateSocial = gen.Social
+	// GenerateCommunity builds a community-network-like input.
+	GenerateCommunity = gen.Community
+	// GenerateRoad builds a road-network-like input (chain dominated).
+	GenerateRoad = gen.Road
+)
+
+// Timed runs fn and returns its duration — a convenience for speedup
+// measurements in examples and benchmarks.
+func Timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// TopKResult is the result of a verified top-k closeness search.
+type TopKResult = topk.Result
+
+// TopKOptions configures TopKCloseness.
+type TopKOptions = topk.Options
+
+// TopKCloseness returns the k most central nodes (lowest farness) with
+// exact farness values, using a BRICS estimate to order candidates and
+// exact traversals to confirm them (estimate-then-verify).
+func TopKCloseness(g *Graph, k int, opts TopKOptions) (*TopKResult, error) {
+	return topk.Closeness(g, k, opts)
+}
+
+// DynamicIndex maintains exact farness values under edge insertions and
+// deletions (the paper's "dynamic setting" future work): 2 + |affected|
+// traversals per update instead of n.
+type DynamicIndex = dynamic.Index
+
+// NewDynamicIndex builds a dynamic farness index over a connected graph.
+func NewDynamicIndex(g *Graph, workers int) (*DynamicIndex, error) {
+	return dynamic.New(g, workers)
+}
+
+// AdaptiveOptions configures EstimateAdaptive.
+type AdaptiveOptions = core.AdaptiveOptions
+
+// AdaptiveResult extends Result with the escalation trace.
+type AdaptiveResult = core.AdaptiveResult
+
+// EstimateAdaptive escalates the sampling fraction until the estimates
+// stabilise, answering "which sampling rate does this graph need?"
+// automatically.
+func EstimateAdaptive(g *Graph, opts AdaptiveOptions) (*AdaptiveResult, error) {
+	return core.EstimateAdaptive(g, opts)
+}
+
+// Betweenness computes exact betweenness centrality (Brandes) for every
+// node — the companion metric the paper's related work targets with the
+// same structural toolbox.
+func Betweenness(g *Graph, workers int) []float64 {
+	return betweenness.Exact(g, workers)
+}
+
+// BetweennessSampled estimates betweenness from k random sources
+// (Brandes–Pich), scaled to the full-graph convention.
+func BetweennessSampled(g *Graph, k, workers int, seed int64) []float64 {
+	return betweenness.Sampled(g, k, workers, seed)
+}

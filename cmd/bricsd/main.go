@@ -1,0 +1,79 @@
+// Command bricsd serves farness/closeness centrality over HTTP: estimates
+// (cached per option set), verified top-k queries, and exact dynamic edge
+// updates. See internal/server for the endpoint reference.
+//
+//	bricsd -input graph.txt -addr :8080
+//	bricsd -dataset usroads
+//
+//	curl localhost:8080/v1/farness/42?fraction=0.2
+//	curl -X POST localhost:8080/v1/estimate -d '{"techniques":"BRIC","fraction":0.2}'
+//	curl localhost:8080/v1/topk?k=10
+//	curl -X POST localhost:8080/v1/edges -d '{"u":1,"v":2}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	repro_io "repro/internal/io"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "", "input graph file (SNAP edge list or .mtx, optionally .gz)")
+		dataset = flag.String("dataset", "", "synthetic dataset name instead of -input")
+		scale   = flag.Float64("scale", 1.0, "synthetic dataset scale factor")
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case *input != "":
+		g, err = repro_io.ReadFile(*input)
+	case *dataset != "":
+		ds, ok := gen.ByName(*dataset, *scale)
+		if !ok {
+			err = fmt.Errorf("unknown dataset %q", *dataset)
+		} else {
+			g = ds.Build()
+		}
+	default:
+		err = fmt.Errorf("one of -input or -dataset is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bricsd:", err)
+		os.Exit(1)
+	}
+	if !graph.IsConnected(g) {
+		log.Printf("input disconnected; adding bridge edges")
+		g = graph.Connect(g)
+	}
+
+	log.Printf("building exact index over %d nodes, %d edges ...", g.NumNodes(), g.NumEdges())
+	start := time.Now()
+	s, err := server.New(g, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bricsd:", err)
+		os.Exit(1)
+	}
+	log.Printf("index ready in %v; listening on %s", time.Since(start).Round(time.Millisecond), *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

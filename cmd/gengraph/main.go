@@ -1,0 +1,102 @@
+// Command gengraph writes the synthetic dataset stand-ins (or any single
+// generator output) to SNAP edge-list files, so they can be fed back to
+// cmd/brics or external tools.
+//
+// Usage:
+//
+//	gengraph -out data/                  # all 12 Table I stand-ins
+//	gengraph -dataset usroads -out -     # one dataset to stdout
+//	gengraph -class road -n 50000 -seed 7 -out road.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	repro_io "repro/internal/io"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "", "output directory (all datasets) or file/'-' (single graph)")
+		dataset = flag.String("dataset", "", "write a single Table I stand-in by name")
+		class   = flag.String("class", "", "write a single generator output: web|social|community|road")
+		n       = flag.Int("n", 10000, "node count for -class")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("-out is required"))
+	}
+
+	switch {
+	case *class != "":
+		var g *graph.Graph
+		switch strings.ToLower(*class) {
+		case "web":
+			g = gen.Web(*n, *seed)
+		case "social":
+			g = gen.Social(*n, *seed)
+		case "community":
+			g = gen.Community(*n, *seed)
+		case "road":
+			g = gen.Road(*n, *seed)
+		default:
+			fatal(fmt.Errorf("unknown class %q", *class))
+		}
+		writeOne(*out, g)
+	case *dataset != "":
+		ds, ok := gen.ByName(*dataset, *scale)
+		if !ok {
+			fatal(fmt.Errorf("unknown dataset %q", *dataset))
+		}
+		writeOne(*out, ds.Build())
+	default:
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, ds := range gen.Datasets(*scale) {
+			g := ds.Build()
+			name := strings.TrimSuffix(ds.Name, " (sim)") + ".txt"
+			path := filepath.Join(*out, name)
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := repro_io.WriteEdgeList(f, g); err != nil {
+				fatal(err)
+			}
+			_ = f.Close()
+			fmt.Printf("%-28s %8d nodes %9d edges -> %s\n", ds.Name, g.NumNodes(), g.NumEdges(), path)
+		}
+	}
+}
+
+func writeOne(out string, g *graph.Graph) {
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := repro_io.WriteEdgeList(w, g); err != nil {
+		fatal(err)
+	}
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %d nodes, %d edges to %s\n", g.NumNodes(), g.NumEdges(), out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gengraph:", err)
+	os.Exit(1)
+}

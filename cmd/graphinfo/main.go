@@ -1,0 +1,107 @@
+// Command graphinfo characterises a graph the way the paper's Section
+// IV-C2 characterises its classes: degrees, chains, twins, redundant
+// nodes, biconnected structure, clustering and diameter — and recommends a
+// BRICS technique configuration based on the same per-class rules the
+// paper derives.
+//
+//	graphinfo -input graph.txt
+//	graphinfo -dataset soc-douban
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/bicc"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	repro_io "repro/internal/io"
+	"repro/internal/reduce"
+)
+
+func main() {
+	var (
+		input   = flag.String("input", "", "input graph file")
+		dataset = flag.String("dataset", "", "synthetic dataset name")
+		scale   = flag.Float64("scale", 1.0, "dataset scale")
+		seed    = flag.Int64("seed", 1, "seed for sampled statistics")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	var name string
+	switch {
+	case *input != "":
+		g, err = repro_io.ReadFile(*input)
+		name = *input
+	case *dataset != "":
+		ds, ok := gen.ByName(*dataset, *scale)
+		if !ok {
+			err = fmt.Errorf("unknown dataset %q", *dataset)
+		} else {
+			g = ds.Build()
+			name = ds.Name
+		}
+	default:
+		err = fmt.Errorf("one of -input or -dataset is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphinfo:", err)
+		os.Exit(1)
+	}
+	if !graph.IsConnected(g) {
+		fmt.Println("note: graph disconnected; connecting with bridge edges for analysis")
+		g = graph.Connect(g)
+	}
+
+	s := analysis.Summarize(g, *seed)
+	fmt.Printf("graph %s\n", name)
+	fmt.Printf("  nodes %d, edges %d, mean degree %.2f (min %d, max %d)\n",
+		s.Nodes, s.Edges, s.MeanDeg, s.MinDeg, s.MaxDeg)
+	fmt.Printf("  degree-1 nodes %.1f%%, degree-2 nodes %.1f%%\n", 100*s.Deg1Frac, 100*s.Deg2Frac)
+	fmt.Printf("  clustering: global %.4f, avg local %.4f\n", s.GlobalClustering, s.AvgLocalClust)
+	fmt.Printf("  diameter in [%d, %d], effective (90th pct) %.0f\n",
+		s.DiameterLower, s.DiameterUpper, s.EffectiveDiam)
+
+	red, err := reduce.Run(g, reduce.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphinfo:", err)
+		os.Exit(1)
+	}
+	rs := red.Stats
+	n := float64(g.NumNodes())
+	fmt.Printf("  BRICS structure: identical %.1f%%, chain %.1f%%, redundant %.1f%% -> reduced to %d nodes (%.1f%%)\n",
+		100*float64(rs.IdenticalNodes)/n, 100*float64(rs.ChainNodes)/n,
+		100*float64(rs.RedundantNodes)/n,
+		red.G.NumNodes(), 100*float64(red.G.NumNodes())/n)
+	d := bicc.Decompose(red.G)
+	bs := d.Summarize()
+	maxFrac := 0.0
+	if red.G.NumNodes() > 0 {
+		maxFrac = float64(bs.Max) / float64(red.G.NumNodes())
+	}
+	fmt.Printf("  reduced-graph BiCCs: %d (largest %.0f%% of reduced nodes)\n", bs.Count, 100*maxFrac)
+
+	fmt.Printf("  recommended techniques: %s\n", recommend(rs, n, maxFrac))
+}
+
+// recommend applies the paper's per-class guidance (Section IV-C2): skip I
+// when twins are rare, skip R when redundant nodes are rare, and skip the
+// BiCC decomposition when one block dominates the reduced graph.
+func recommend(rs reduce.Stats, n, maxBlockFrac float64) core.Technique {
+	var t core.Technique = core.TechChains
+	if float64(rs.IdenticalNodes)/n > 0.02 {
+		t |= core.TechIdentical
+	}
+	if float64(rs.RedundantNodes)/n > 0.005 {
+		t |= core.TechRedundant
+	}
+	if maxBlockFrac < 0.7 {
+		t |= core.TechBiCC
+	}
+	return t
+}

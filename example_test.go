@@ -1,0 +1,72 @@
+package brics_test
+
+import (
+	"fmt"
+
+	brics "repro"
+)
+
+// The basic flow: build a graph, estimate farness, read values.
+func ExampleEstimate() {
+	// A path 0-1-2-3-4 with a hub: farness is exact here because the
+	// whole graph reduces away.
+	g := brics.FromEdges(5, [][2]brics.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	res, err := brics.Estimate(g, brics.Options{
+		Techniques:     brics.TechCumulative,
+		SampleFraction: 0.5,
+		Seed:           1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Farness[2], res.Exact[2])
+	// Output: 6 true
+}
+
+// Exact computation for ground truth.
+func ExampleExactFarness() {
+	g := brics.FromEdges(4, [][2]brics.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	far := brics.ExactFarness(g, 1)
+	fmt.Println(far)
+	// Output: [4 4 4 4]
+}
+
+// Closeness is the inverse of farness.
+func ExampleCloseness() {
+	fmt.Println(brics.Closeness([]float64{4, 2}))
+	// Output: [0.25 0.5]
+}
+
+// Verified top-k: exact values for the k most central nodes without
+// computing everything exactly.
+func ExampleTopKCloseness() {
+	g := brics.FromEdges(7, [][2]brics.NodeID{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, // star: 0 is most central
+		{1, 2}, {3, 4},
+	})
+	res, err := brics.TopKCloseness(g, 1, brics.TopKOptions{
+		Estimate: brics.Options{SampleFraction: 0.5, Seed: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Nodes[0], res.Farness[0])
+	// Output: 0 6
+}
+
+// Maintaining farness under edge insertions.
+func ExampleDynamicIndex() {
+	g := brics.FromEdges(4, [][2]brics.NodeID{{0, 1}, {1, 2}, {2, 3}})
+	ix, err := brics.NewDynamicIndex(g, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ix.Farness(0))
+	if err := ix.AddEdge(0, 3); err != nil {
+		panic(err)
+	}
+	fmt.Println(ix.Farness(0))
+	// Output:
+	// 6
+	// 4
+}

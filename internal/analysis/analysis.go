@@ -1,0 +1,191 @@
+// Package analysis computes descriptive graph statistics — degree
+// distribution, clustering, diameter bounds — used to characterise inputs
+// the way the paper's Section IV-C2 characterises its graph classes, and
+// exposed through cmd/graphinfo.
+package analysis
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+	"repro/internal/queue"
+)
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func DegreeHistogram(g *graph.Graph) []int {
+	maxDeg := 0
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		if d := g.Degree(graph.NodeID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for v := 0; v < n; v++ {
+		counts[g.Degree(graph.NodeID(v))]++
+	}
+	return counts
+}
+
+// ClusteringCoefficient returns the global clustering coefficient
+// (3×triangles / open-plus-closed triads) and the average local
+// coefficient. O(Σ deg²) — fine for the sparse graphs this library
+// targets.
+func ClusteringCoefficient(g *graph.Graph) (global, avgLocal float64) {
+	n := g.NumNodes()
+	var triangles, triads int64
+	var localSum float64
+	withDeg2 := 0
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(graph.NodeID(v))
+		d := len(nbrs)
+		if d < 2 {
+			continue
+		}
+		withDeg2++
+		var closed int64
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(nbrs[i], nbrs[j]) {
+					closed++
+				}
+			}
+		}
+		pairs := int64(d) * int64(d-1) / 2
+		triangles += closed
+		triads += pairs
+		localSum += float64(closed) / float64(pairs)
+	}
+	if triads > 0 {
+		global = float64(triangles) / float64(triads)
+	}
+	if withDeg2 > 0 {
+		avgLocal = localSum / float64(withDeg2)
+	}
+	return global, avgLocal
+}
+
+// DiameterBounds estimates the diameter of a connected graph with repeated
+// double sweeps: a BFS from a random node finds a far node u; a BFS from u
+// finds its eccentricity, a lower bound that is usually tight on real
+// graphs. The returned upper bound is 2× the best-known eccentricity of a
+// sweep midpoint (the classic double-sweep upper bound).
+func DiameterBounds(g *graph.Graph, sweeps int, seed int64) (lower, upper int32) {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, 0
+	}
+	if sweeps < 1 {
+		sweeps = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dist := make([]int32, n)
+	q := queue.NewFIFO(n)
+	upper = int32(1 << 30)
+	for s := 0; s < sweeps; s++ {
+		start := graph.NodeID(rng.Intn(n))
+		bfs.Distances(g, start, dist, q)
+		far := argmax(dist)
+		bfs.Distances(g, far, dist, q)
+		ecc := bfs.Eccentricity(dist)
+		if ecc > lower {
+			lower = ecc
+		}
+		// Midpoint of the found path: a node at ecc/2 from far.
+		mid := graph.NodeID(-1)
+		for v := 0; v < n; v++ {
+			if dist[v] == ecc/2 {
+				mid = graph.NodeID(v)
+				break
+			}
+		}
+		if mid >= 0 {
+			bfs.Distances(g, mid, dist, q)
+			if u := 2 * bfs.Eccentricity(dist); u < upper {
+				upper = u
+			}
+		}
+	}
+	if upper < lower {
+		upper = lower
+	}
+	return lower, upper
+}
+
+func argmax(dist []int32) graph.NodeID {
+	best := graph.NodeID(0)
+	for v := 1; v < len(dist); v++ {
+		if dist[v] > dist[best] {
+			best = graph.NodeID(v)
+		}
+	}
+	return best
+}
+
+// EffectiveDiameter estimates the 90th-percentile pairwise distance from
+// `samples` random BFS sources.
+func EffectiveDiameter(g *graph.Graph, samples int, seed int64) float64 {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0
+	}
+	if samples < 1 {
+		samples = 16
+	}
+	if samples > n {
+		samples = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dist := make([]int32, n)
+	q := queue.NewFIFO(n)
+	var all []int32
+	for s := 0; s < samples; s++ {
+		bfs.Distances(g, graph.NodeID(rng.Intn(n)), dist, q)
+		for _, d := range dist {
+			if d > 0 {
+				all = append(all, d)
+			}
+		}
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return float64(all[int(float64(len(all)-1)*0.9)])
+}
+
+// Summary bundles the statistics cmd/graphinfo reports.
+type Summary struct {
+	Nodes, Edges     int
+	MinDeg, MaxDeg   int
+	MeanDeg          float64
+	Deg1Frac         float64 // fraction of degree-1 nodes
+	Deg2Frac         float64 // fraction of degree-2 nodes
+	GlobalClustering float64
+	AvgLocalClust    float64
+	DiameterLower    int32
+	DiameterUpper    int32
+	EffectiveDiam    float64
+}
+
+// Summarize computes a Summary for a connected graph.
+func Summarize(g *graph.Graph, seed int64) Summary {
+	ds := graph.Degrees(g)
+	gc, lc := ClusteringCoefficient(g)
+	lo, hi := DiameterBounds(g, 4, seed)
+	n := g.NumNodes()
+	s := Summary{
+		Nodes: n, Edges: g.NumEdges(),
+		MinDeg: ds.Min, MaxDeg: ds.Max, MeanDeg: ds.Mean,
+		GlobalClustering: gc, AvgLocalClust: lc,
+		DiameterLower: lo, DiameterUpper: hi,
+		EffectiveDiam: EffectiveDiameter(g, 16, seed),
+	}
+	if n > 0 {
+		s.Deg1Frac = float64(ds.CountDeg1) / float64(n)
+		s.Deg2Frac = float64(ds.CountDeg2) / float64(n)
+	}
+	return s
+}

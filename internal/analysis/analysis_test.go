@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bfs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestDegreeHistogram(t *testing.T) {
+	// Star: one node of degree 4, four of degree 1.
+	g := graph.FromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	h := DegreeHistogram(g)
+	if len(h) != 5 || h[1] != 4 || h[4] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Triangle: both coefficients are 1.
+	tri := graph.FromEdges(3, [][2]int32{{0, 1}, {1, 2}, {0, 2}})
+	g, l := ClusteringCoefficient(tri)
+	if g != 1 || l != 1 {
+		t.Fatalf("triangle clustering = %v/%v", g, l)
+	}
+	// Path: no triangles, zero.
+	path := graph.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	g, l = ClusteringCoefficient(path)
+	if g != 0 || l != 0 {
+		t.Fatalf("path clustering = %v/%v", g, l)
+	}
+	// Paw: triangle 0-1-2 with tail 0-3. Local at 0: 1/3; 1,2: 1; global:
+	// 3 triangles-as-triads / (3+1+1... compute directly: closed triads:
+	// node0 C(3,2)=3 pairs, 1 closed; node1 1/1; node2 1/1; node3 deg1.
+	// global = (1+1+1)/(3+1+1) = 0.6.
+	paw := graph.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {0, 3}})
+	g, l = ClusteringCoefficient(paw)
+	if absf(g-0.6) > 1e-12 {
+		t.Fatalf("paw global clustering = %v, want 0.6", g)
+	}
+	if absf(l-(1.0/3+1+1)/3) > 1e-12 {
+		t.Fatalf("paw avg local = %v", l)
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// bruteDiameter computes the true diameter.
+func bruteDiameter(g *graph.Graph) int32 {
+	var d int32
+	dist := make([]int32, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		bfs.Distances(g, graph.NodeID(v), dist, nil)
+		if e := bfs.Eccentricity(dist); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// Property: the double-sweep bounds bracket the true diameter.
+func TestDiameterBoundsBracket(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 2
+		b := graph.NewBuilder(n)
+		for i := 1; i < n; i++ {
+			_ = b.AddEdge(int32(rng.Intn(i)), int32(i))
+		}
+		for i := 0; i < rng.Intn(2*n); i++ {
+			_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		truth := bruteDiameter(g)
+		lo, hi := DiameterBounds(g, 4, seed)
+		return lo <= truth && truth <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiameterBoundsPath(t *testing.T) {
+	// On a path the double sweep is exact.
+	n := 50
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		_ = b.AddEdge(int32(i), int32(i+1))
+	}
+	g := b.Build()
+	lo, _ := DiameterBounds(g, 2, 1)
+	if lo != int32(n-1) {
+		t.Fatalf("path diameter lower bound = %d, want %d", lo, n-1)
+	}
+}
+
+func TestEffectiveDiameter(t *testing.T) {
+	g := gen.Social(1000, 2)
+	ed := EffectiveDiameter(g, 8, 1)
+	lo, hi := DiameterBounds(g, 4, 1)
+	if ed <= 0 || ed > float64(hi) {
+		t.Fatalf("effective diameter %v outside (0, %d]", ed, hi)
+	}
+	_ = lo
+	if EffectiveDiameter(graph.FromEdges(1, nil), 4, 1) != 0 {
+		t.Fatal("single node effective diameter should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := gen.Road(1200, 3)
+	s := Summarize(g, 1)
+	if s.Nodes != g.NumNodes() || s.Edges != g.NumEdges() {
+		t.Fatal("size mismatch")
+	}
+	if s.Deg1Frac+s.Deg2Frac < 0.5 {
+		t.Errorf("road degree-1/2 fraction = %v", s.Deg1Frac+s.Deg2Frac)
+	}
+	if s.DiameterLower > s.DiameterUpper {
+		t.Errorf("bounds inverted: %d > %d", s.DiameterLower, s.DiameterUpper)
+	}
+	if s.GlobalClustering < 0 || s.GlobalClustering > 1 {
+		t.Errorf("clustering out of range: %v", s.GlobalClustering)
+	}
+}

@@ -1,0 +1,166 @@
+package betweenness
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+)
+
+func TestExactOnPath(t *testing.T) {
+	// Path 0-1-2-3-4: bc(v) = #pairs {s,t} strictly separated by v.
+	// bc(1) = |{(0,2),(0,3),(0,4)}| = 3; bc(2) = 4; symmetric.
+	b := graph.NewBuilder(5)
+	for i := 0; i < 4; i++ {
+		_ = b.AddEdge(int32(i), int32(i+1))
+	}
+	g := b.Build()
+	bc := Exact(g, 2)
+	want := []float64{0, 3, 4, 3, 0}
+	for i := range want {
+		if math.Abs(bc[i]-want[i]) > 1e-9 {
+			t.Errorf("bc[%d] = %v, want %v", i, bc[i], want[i])
+		}
+	}
+}
+
+func TestExactOnStarAndCycle(t *testing.T) {
+	// Star with 4 leaves: centre carries all C(4,2)=6 pairs.
+	star := graph.FromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	bc := Exact(star, 1)
+	if math.Abs(bc[0]-6) > 1e-9 {
+		t.Errorf("star centre bc = %v, want 6", bc[0])
+	}
+	for v := 1; v < 5; v++ {
+		if bc[v] != 0 {
+			t.Errorf("leaf bc = %v", bc[v])
+		}
+	}
+	// C4: opposite pairs have two shortest paths, each midpoint gets 1/2.
+	cyc := graph.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	bc = Exact(cyc, 1)
+	for v := range bc {
+		if math.Abs(bc[v]-0.5) > 1e-9 {
+			t.Errorf("C4 bc[%d] = %v, want 0.5", v, bc[v])
+		}
+	}
+}
+
+// bruteBetweenness enumerates all pairs and shortest-path counts directly.
+func bruteBetweenness(g *graph.Graph) []float64 {
+	n := g.NumNodes()
+	out := make([]float64, n)
+	// σ and paths via BFS from each node.
+	dist := make([][]int32, n)
+	sigma := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		dist[s] = make([]int32, n)
+		bfs.Distances(g, graph.NodeID(s), dist[s], nil)
+		sigma[s] = make([]float64, n)
+		sigma[s][s] = 1
+		// Count shortest paths level by level.
+		for d := int32(1); ; d++ {
+			any := false
+			for v := 0; v < n; v++ {
+				if dist[s][v] != d {
+					continue
+				}
+				any = true
+				for _, w := range g.Neighbors(graph.NodeID(v)) {
+					if dist[s][w] == d-1 {
+						sigma[s][v] += sigma[s][w]
+					}
+				}
+			}
+			if !any {
+				break
+			}
+		}
+	}
+	for s := 0; s < n; s++ {
+		for t2 := s + 1; t2 < n; t2++ {
+			if dist[s][t2] < 0 || sigma[s][t2] == 0 {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if v == s || v == t2 {
+					continue
+				}
+				if dist[s][v] >= 0 && dist[v][t2] >= 0 &&
+					dist[s][v]+dist[v][t2] == dist[s][t2] {
+					out[v] += sigma[s][v] * sigma[v][t2] / sigma[s][t2]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Property: Brandes matches brute-force path counting on random connected
+// graphs.
+func TestExactMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(25) + 3
+		b := graph.NewBuilder(n)
+		for i := 1; i < n; i++ {
+			_ = b.AddEdge(int32(rng.Intn(i)), int32(i))
+		}
+		for i := 0; i < rng.Intn(2*n); i++ {
+			_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		got := Exact(g, 2)
+		want := bruteBetweenness(g)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampledConvergesToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 150
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddEdge(int32(rng.Intn(i)), int32(i))
+	}
+	for i := 0; i < 3*n; i++ {
+		_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	g := b.Build()
+	exact := Exact(g, 2)
+	full := Sampled(g, n, 2, 1) // k = n must equal exact
+	for v := range exact {
+		if math.Abs(full[v]-exact[v]) > 1e-6 {
+			t.Fatalf("full sampling differs at %d: %v vs %v", v, full[v], exact[v])
+		}
+	}
+	// Partial sampling: rank correlation with exact should be high.
+	est := Sampled(g, n/2, 2, 1)
+	var cov, va, vb, ma, mb float64
+	for v := range exact {
+		ma += exact[v]
+		mb += est[v]
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	for v := range exact {
+		da, db := exact[v]-ma, est[v]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if corr := cov / math.Sqrt(va*vb); corr < 0.85 {
+		t.Fatalf("sampled betweenness correlation = %v", corr)
+	}
+}

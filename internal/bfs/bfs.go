@@ -1,0 +1,248 @@
+// Package bfs provides the traversal kernels of the system: plain and
+// direction-optimising breadth-first search on unweighted graphs, and Dial's
+// bucket-queue shortest paths on the integer-weighted graphs produced by
+// chain contraction. All kernels write into caller-provided distance buffers
+// so that the per-source parallel drivers can reuse scratch per worker.
+package bfs
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/queue"
+)
+
+// Unreached marks nodes not reached by a traversal.
+const Unreached int32 = -1
+
+// Fill sets every element of dist to Unreached. Kernels call it themselves;
+// it is exported for callers that compose partial traversals.
+func Fill(dist []int32) {
+	for i := range dist {
+		dist[i] = Unreached
+	}
+}
+
+// Distances runs a BFS from src over g, filling dist with hop counts
+// (Unreached for unreachable nodes). dist must have length g.NumNodes().
+// The scratch queue may be nil, in which case one is allocated.
+func Distances(g *graph.Graph, src graph.NodeID, dist []int32, q *queue.FIFO) {
+	Fill(dist)
+	if q == nil {
+		q = queue.NewFIFO(g.NumNodes())
+	} else {
+		q.Reset()
+	}
+	dist[src] = 0
+	q.Push(src)
+	for !q.Empty() {
+		u := q.Pop()
+		du := dist[u]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == Unreached {
+				dist[v] = du + 1
+				q.Push(v)
+			}
+		}
+	}
+}
+
+// Scratch bundles the per-worker reusable state for weighted traversals.
+type Scratch struct {
+	Dist []int32
+	Q    *queue.FIFO
+	B    *queue.Bucket
+}
+
+// NewScratch allocates traversal scratch for an n-node graph whose edge
+// weights do not exceed maxWeight.
+func NewScratch(n int, maxWeight int32) *Scratch {
+	return &Scratch{
+		Dist: make([]int32, n),
+		Q:    queue.NewFIFO(n),
+		B:    queue.NewBucket(maxWeight),
+	}
+}
+
+// WDistances runs Dial's algorithm from src over the weighted graph g,
+// filling dist with shortest-path lengths. For all-weights-one graphs it is
+// equivalent to BFS (and BFS should be preferred; see WDistancesAuto).
+// dist must have length g.NumNodes(); b must have been created with at least
+// the graph's maximum edge weight.
+func WDistances(g *graph.WGraph, src graph.NodeID, dist []int32, b *queue.Bucket) {
+	Fill(dist)
+	if b == nil {
+		b = queue.NewBucket(g.MaxWeight())
+	} else {
+		b.Reset()
+	}
+	dist[src] = 0
+	b.Push(src, 0)
+	for !b.Empty() {
+		u, du := b.Pop()
+		if dist[u] != du {
+			continue // stale entry superseded by a shorter path
+		}
+		nbrs := g.Neighbors(u)
+		ws := g.Weights(u)
+		for i, v := range nbrs {
+			nd := du + ws[i]
+			if dist[v] == Unreached || nd < dist[v] {
+				dist[v] = nd
+				b.Push(v, nd)
+			}
+		}
+	}
+}
+
+// WDistancesBFS runs plain BFS over a weighted graph whose weights are all
+// 1; callers guarantee the precondition (see graph.WGraph.Unweighted).
+func WDistancesBFS(g *graph.WGraph, src graph.NodeID, dist []int32, q *queue.FIFO) {
+	Fill(dist)
+	if q == nil {
+		q = queue.NewFIFO(g.NumNodes())
+	} else {
+		q.Reset()
+	}
+	dist[src] = 0
+	q.Push(src)
+	for !q.Empty() {
+		u := q.Pop()
+		du := dist[u]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == Unreached {
+				dist[v] = du + 1
+				q.Push(v)
+			}
+		}
+	}
+}
+
+// WDistancesAuto dispatches to BFS when the graph is unweighted (detected
+// once by the caller and passed in) and Dial otherwise.
+func WDistancesAuto(g *graph.WGraph, unweighted bool, src graph.NodeID, s *Scratch) {
+	if unweighted {
+		WDistancesBFS(g, src, s.Dist, s.Q)
+	} else {
+		WDistances(g, src, s.Dist, s.B)
+	}
+}
+
+// DirectionOptimizing runs a direction-optimising (push/pull hybrid) BFS
+// from src, the Beamer-style kernel that switches to bottom-up sweeps when
+// the frontier grows beyond a fraction of the remaining edges. On the
+// single-core reference platform it exists for the ablation benchmarks; on
+// multicore it pairs with level-parallel sweeps.
+//
+// alpha and beta are the classic switching parameters; DefaultAlpha and
+// DefaultBeta are reasonable for scale-free graphs.
+func DirectionOptimizing(g *graph.Graph, src graph.NodeID, dist []int32, alpha, beta int) {
+	n := g.NumNodes()
+	Fill(dist)
+	dist[src] = 0
+	frontier := []graph.NodeID{src}
+	visited := bitset.New(n)
+	visited.Set(int(src))
+	level := int32(0)
+	mf := int64(g.Degree(src)) // edges out of the frontier
+	mu := int64(2*g.NumEdges()) - mf
+
+	front := bitset.New(n)
+	next := bitset.New(n)
+
+	for len(frontier) > 0 {
+		if mf > mu/int64(alpha) {
+			// Switch to bottom-up until the frontier shrinks again.
+			front.Reset()
+			for _, v := range frontier {
+				front.Set(int(v))
+			}
+			// Always run at least one bottom-up sweep after switching:
+			// otherwise a frontier already below the n/beta threshold
+			// would bounce back to the top-down branch unchanged and
+			// the kernel would never make progress.
+			for {
+				next.Reset()
+				cnt := 0
+				for v := 0; v < n; v++ {
+					if visited.Test(v) {
+						continue
+					}
+					for _, u := range g.Neighbors(graph.NodeID(v)) {
+						if front.Test(int(u)) {
+							dist[v] = level + 1
+							visited.Set(v)
+							next.Set(v)
+							cnt++
+							break
+						}
+					}
+				}
+				level++
+				front, next = next, front
+				if cnt == 0 || cnt <= n/beta {
+					break
+				}
+			}
+			// Rebuild the sparse frontier and resume top-down.
+			frontier = frontier[:0]
+			front.ForEach(func(i int) {
+				frontier = append(frontier, graph.NodeID(i))
+			})
+			mf = 0
+			for _, v := range frontier {
+				mf += int64(g.Degree(v))
+			}
+			if len(frontier) == 0 {
+				break
+			}
+			continue
+		}
+		var nextFrontier []graph.NodeID
+		var nmf int64
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if !visited.Test(int(v)) {
+					visited.Set(int(v))
+					dist[v] = level + 1
+					nextFrontier = append(nextFrontier, v)
+					nmf += int64(g.Degree(v))
+				}
+			}
+		}
+		mu -= mf
+		mf = nmf
+		level++
+		frontier = nextFrontier
+	}
+}
+
+// Default direction-optimisation switching parameters (Beamer et al.).
+const (
+	DefaultAlpha = 14
+	DefaultBeta  = 24
+)
+
+// Eccentricity returns the largest finite distance in dist, i.e. the
+// eccentricity of the traversal's source within its component.
+func Eccentricity(dist []int32) int32 {
+	var ecc int32
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Sum returns the sum of all finite distances in dist — the farness of the
+// source restricted to its component — and the count of reached nodes
+// (including the source itself).
+func Sum(dist []int32) (sum int64, reached int) {
+	for _, d := range dist {
+		if d != Unreached {
+			sum += int64(d)
+			reached++
+		}
+	}
+	return sum, reached
+}

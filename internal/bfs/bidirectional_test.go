@@ -1,0 +1,70 @@
+package bfs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestPointToPointBasics(t *testing.T) {
+	g := graph.FromEdges(6, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	cases := []struct {
+		s, t graph.NodeID
+		want int32
+	}{
+		{0, 0, 0}, {0, 1, 1}, {0, 4, 4}, {4, 0, 4}, {1, 3, 2},
+		{0, 5, -1}, // node 5 isolated
+	}
+	for _, c := range cases {
+		if got := PointToPoint(g, c.s, c.t); got != c.want {
+			t.Errorf("d(%d,%d) = %d, want %d", c.s, c.t, got, c.want)
+		}
+	}
+}
+
+// Property: bidirectional distance equals BFS distance for random pairs on
+// random graphs (including disconnected ones).
+func TestPointToPointMatchesBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 2
+		b := graph.NewBuilder(n)
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		dist := make([]int32, n)
+		for trial := 0; trial < 12; trial++ {
+			s := graph.NodeID(rng.Intn(n))
+			tt := graph.NodeID(rng.Intn(n))
+			Distances(g, s, dist, nil)
+			if got := PointToPoint(g, s, tt); got != dist[tt] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPointToPointVsBFS(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomConnected(rng, 30000)
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	b.Run("bidirectional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			PointToPoint(g, graph.NodeID(i%n), graph.NodeID((i*7919+13)%n))
+		}
+	})
+	b.Run("full-bfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Distances(g, graph.NodeID(i%n), dist, nil)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package bfs
+
+import (
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// MSBFSWidth is the number of sources one multi-source sweep carries — one
+// bit lane per source.
+const MSBFSWidth = 64
+
+// MultiSource runs a bit-parallel breadth-first search from up to 64
+// sources simultaneously (the "more the merrier" technique: one uint64 per
+// node carries one lane per source, so a single edge scan advances all
+// sources at once). It calls visit(v, lane, d) exactly once per reached
+// (source, node) pair with the hop distance d — including (s, s, 0).
+//
+// Sampling-based centrality wants exactly this access pattern: the k
+// sampled sources all traverse the same graph, and batching them divides
+// the number of edge scans by up to 64 on overlapping frontiers.
+//
+// The kernel is sequential by design; callers parallelise across batches
+// (see MultiSourceFarness).
+func MultiSource(g *graph.Graph, sources []graph.NodeID, visit func(v graph.NodeID, lane int, d int32)) {
+	if len(sources) == 0 {
+		return
+	}
+	if len(sources) > MSBFSWidth {
+		panic("bfs: MultiSource supports at most 64 sources per batch")
+	}
+	n := g.NumNodes()
+	seen := make([]uint64, n)
+	next := make([]uint64, n)
+	frontier := make([]graph.NodeID, 0, n)
+	for lane, s := range sources {
+		bit := uint64(1) << uint(lane)
+		if seen[s]&bit == 0 {
+			visit(s, lane, 0)
+		} else {
+			// Duplicate source node: its other lane(s) still need the
+			// zero-distance visit.
+			visit(s, lane, 0)
+		}
+		seen[s] |= bit
+	}
+	// Deduplicate the initial frontier.
+	for _, s := range sources {
+		found := false
+		for _, f := range frontier {
+			if f == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			frontier = append(frontier, s)
+		}
+	}
+	cur := make([]uint64, n)
+	for _, s := range sources {
+		cur[s] = seen[s]
+	}
+
+	var touched []graph.NodeID
+	for d := int32(1); len(frontier) > 0; d++ {
+		touched = touched[:0]
+		for _, u := range frontier {
+			m := cur[u]
+			for _, w := range g.Neighbors(u) {
+				if next[w] == 0 {
+					touched = append(touched, w)
+				}
+				next[w] |= m
+			}
+		}
+		// Commit the level: new lanes per node, visits, next frontier.
+		newFrontier := frontier[:0]
+		for _, w := range touched {
+			nw := next[w] &^ seen[w]
+			next[w] = 0
+			if nw == 0 {
+				cur[w] = 0
+				continue
+			}
+			seen[w] |= nw
+			cur[w] = nw
+			newFrontier = append(newFrontier, w)
+			for m := nw; m != 0; m &= m - 1 {
+				visit(w, bits.TrailingZeros64(m), d)
+			}
+		}
+		// Clear cur for nodes leaving the frontier.
+		for _, u := range frontier[len(newFrontier):cap(frontier)] {
+			_ = u
+		}
+		frontier = newFrontier
+	}
+}
+
+// MultiSourceFarness computes, for every node, the sum of distances from
+// the given sources (the random-sampling accumulator of Algorithm 1) plus
+// the exact farness of each source, using 64-wide multi-source sweeps.
+// It returns acc[v] = Σ_s d(s,v) and far[i] = farness(sources[i]) within
+// the source's component.
+func MultiSourceFarness(g *graph.Graph, sources []graph.NodeID) (acc []int64, far []int64) {
+	n := g.NumNodes()
+	acc = make([]int64, n)
+	far = make([]int64, len(sources))
+	for base := 0; base < len(sources); base += MSBFSWidth {
+		hi := base + MSBFSWidth
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		batch := sources[base:hi]
+		MultiSource(g, batch, func(v graph.NodeID, lane int, d int32) {
+			acc[v] += int64(d)
+			far[base+lane] += int64(d)
+		})
+	}
+	return acc, far
+}

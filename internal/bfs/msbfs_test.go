@@ -1,0 +1,134 @@
+package bfs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestMultiSourceMatchesSequentialBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnected(rng, 200)
+	sources := []graph.NodeID{0, 5, 17, 42, 199}
+	got := make(map[[2]int32]int32)
+	MultiSource(g, sources, func(v graph.NodeID, lane int, d int32) {
+		key := [2]int32{int32(lane), v}
+		if _, dup := got[key]; dup {
+			t.Fatalf("duplicate visit for lane %d node %d", lane, v)
+		}
+		got[key] = d
+	})
+	dist := make([]int32, g.NumNodes())
+	for lane, s := range sources {
+		Distances(g, s, dist, nil)
+		for v := 0; v < g.NumNodes(); v++ {
+			want := dist[v]
+			d, ok := got[[2]int32{int32(lane), int32(v)}]
+			if want == Unreached {
+				if ok {
+					t.Fatalf("lane %d visited unreachable node %d", lane, v)
+				}
+				continue
+			}
+			if !ok || d != want {
+				t.Fatalf("lane %d node %d: got %d,%v want %d", lane, v, d, ok, want)
+			}
+		}
+	}
+}
+
+func TestMultiSourceDuplicateSources(t *testing.T) {
+	g := graph.FromEdges(3, [][2]int32{{0, 1}, {1, 2}})
+	counts := map[int]int{}
+	MultiSource(g, []graph.NodeID{1, 1}, func(v graph.NodeID, lane int, d int32) {
+		counts[lane]++
+	})
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Fatalf("duplicate-source lanes should both cover the graph: %v", counts)
+	}
+}
+
+func TestMultiSourceEmptyAndLimits(t *testing.T) {
+	g := graph.FromEdges(2, [][2]int32{{0, 1}})
+	MultiSource(g, nil, func(graph.NodeID, int, int32) {
+		t.Fatal("no sources should mean no visits")
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >64 sources")
+		}
+	}()
+	many := make([]graph.NodeID, 65)
+	MultiSource(g, many, func(graph.NodeID, int, int32) {})
+}
+
+// Property: MultiSourceFarness equals per-source BFS sums on random graphs
+// with random batch sizes (crossing the 64-lane boundary).
+func TestMultiSourceFarnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(150) + 2
+		g := randomConnected(rng, n)
+		k := rng.Intn(130) + 1
+		if k > n {
+			k = n
+		}
+		sources := make([]graph.NodeID, k)
+		for i := range sources {
+			sources[i] = graph.NodeID(rng.Intn(n))
+		}
+		acc, far := MultiSourceFarness(g, sources)
+
+		wantAcc := make([]int64, n)
+		dist := make([]int32, n)
+		for i, s := range sources {
+			Distances(g, s, dist, nil)
+			var sum int64
+			for v, d := range dist {
+				wantAcc[v] += int64(d)
+				sum += int64(d)
+			}
+			if far[i] != sum {
+				return false
+			}
+		}
+		for v := range wantAcc {
+			if acc[v] != wantAcc[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMultiSourceVsSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnected(rng, 20000)
+	n := g.NumNodes()
+	sources := make([]graph.NodeID, 64)
+	for i := range sources {
+		sources[i] = graph.NodeID(rng.Intn(n))
+	}
+	b.Run("ms64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var total int64
+			MultiSource(g, sources, func(_ graph.NodeID, _ int, d int32) { total += int64(d) })
+		}
+	})
+	b.Run("seq64", func(b *testing.B) {
+		dist := make([]int32, n)
+		for i := 0; i < b.N; i++ {
+			var total int64
+			for _, s := range sources {
+				Distances(g, s, dist, nil)
+				sum, _ := Sum(dist)
+				total += sum
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package bfs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// ParallelDistances runs a level-synchronous parallel BFS from src: each
+// level's frontier is split across workers, discoveries claim nodes with a
+// CAS on the distance array, and per-worker next-frontiers are concatenated
+// between levels. Use for one very large traversal (e.g. a giant single
+// biconnected block) when per-source parallelism has nothing to fan out
+// over; for many sources prefer the per-source drivers or MultiSource.
+//
+// dist must have length g.NumNodes(); it is fully overwritten.
+func ParallelDistances(g *graph.Graph, src graph.NodeID, dist []int32, workers int) {
+	workers = par.Workers(workers)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[src] = 0
+	frontier := []graph.NodeID{src}
+	nexts := make([][]graph.NodeID, workers)
+
+	for level := int32(1); len(frontier) > 0; level++ {
+		if len(frontier) < 4*workers {
+			// Small frontier: sequential sweep avoids the fan-out cost.
+			var next []graph.NodeID
+			for _, u := range frontier {
+				for _, w := range g.Neighbors(u) {
+					if dist[w] == Unreached {
+						dist[w] = level
+						next = append(next, w)
+					}
+				}
+			}
+			frontier = next
+			continue
+		}
+		var wg sync.WaitGroup
+		chunk := (len(frontier) + workers - 1) / workers
+		for wk := 0; wk < workers; wk++ {
+			lo := wk * chunk
+			if lo >= len(frontier) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			wg.Add(1)
+			go func(wk, lo, hi int) {
+				defer wg.Done()
+				local := nexts[wk][:0]
+				for _, u := range frontier[lo:hi] {
+					for _, w := range g.Neighbors(u) {
+						// Claim w with a CAS from Unreached to level.
+						if atomic.LoadInt32(&dist[w]) == Unreached &&
+							atomic.CompareAndSwapInt32(&dist[w], Unreached, level) {
+							local = append(local, w)
+						}
+					}
+				}
+				nexts[wk] = local
+			}(wk, lo, hi)
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for wk := range nexts {
+			frontier = append(frontier, nexts[wk]...)
+		}
+	}
+}
+
+// ParallelExactFarness computes exact farness using level-parallel BFS per
+// source — the right shape when the graph is huge but the caller wants
+// only a handful of sources' exact values.
+func ParallelExactFarness(g *graph.Graph, sources []graph.NodeID, workers int) []int64 {
+	out := make([]int64, len(sources))
+	dist := make([]int32, g.NumNodes())
+	for i, s := range sources {
+		ParallelDistances(g, s, dist, workers)
+		sum, _ := Sum(dist)
+		out[i] = sum
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package bfs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// Property: level-parallel BFS matches sequential BFS for any worker count.
+func TestParallelDistancesMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 2
+		g := randomConnected(rng, n)
+		src := graph.NodeID(rng.Intn(n))
+		want := make([]int32, n)
+		Distances(g, src, want, nil)
+		for _, workers := range []int{1, 2, 5} {
+			got := make([]int32, n)
+			ParallelDistances(g, src, got, workers)
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelDistancesLargeFrontier(t *testing.T) {
+	// A broad shallow graph forces the parallel branch (frontier >> 4*workers).
+	rng := rand.New(rand.NewSource(7))
+	n := 5000
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddEdge(0, graph.NodeID(i)) // star
+	}
+	for i := 0; i < 3*n; i++ {
+		_ = b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	g := b.Build()
+	want := make([]int32, n)
+	Distances(g, 17, want, nil)
+	got := make([]int32, n)
+	ParallelDistances(g, 17, got, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dist[%d]: parallel %d, sequential %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParallelExactFarness(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomConnected(rng, 200)
+	sources := []graph.NodeID{0, 50, 199}
+	got := ParallelExactFarness(g, sources, 3)
+	all := ExactFarness(g, 2)
+	for i, s := range sources {
+		if float64(got[i]) != all[s] {
+			t.Fatalf("source %d: %d vs %v", s, got[i], all[s])
+		}
+	}
+}
+
+func BenchmarkParallelVsSequentialBFS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomConnected(rng, 50000)
+	dist := make([]int32, g.NumNodes())
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Distances(g, 0, dist, nil)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ParallelDistances(g, 0, dist, 0)
+		}
+	})
+}

@@ -1,0 +1,272 @@
+// Package bicc implements the "B" of BRICS: decomposition of a graph into
+// its biconnected components (blocks) and construction of the block
+// cut-vertex tree (BCT) of the paper's Fig. 2. The decomposition runs on
+// the weighted reduced graph — edge weights play no role in
+// biconnectivity — using an iterative Hopcroft–Tarjan DFS with an explicit
+// edge stack, so deep road-network-like graphs cannot overflow the
+// goroutine stack.
+package bicc
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Edge is one edge of a block, in the node ids of the decomposed graph.
+type Edge struct {
+	U, V graph.NodeID
+	W    int32
+}
+
+// Decomposition is the set of biconnected components of a connected graph.
+type Decomposition struct {
+	// BlockEdges lists the edges of each block. Every graph edge belongs
+	// to exactly one block.
+	BlockEdges [][]Edge
+	// BlockNodes lists the distinct nodes of each block (sorted). A cut
+	// vertex appears in every block it belongs to.
+	BlockNodes [][]graph.NodeID
+	// IsCut marks articulation points.
+	IsCut []bool
+	// BlocksOf maps every node to the ids of the blocks containing it
+	// (length 1 for non-cut nodes of a connected graph with ≥ 1 edge).
+	BlocksOf [][]int32
+}
+
+// NumBlocks returns the number of biconnected components.
+func (d *Decomposition) NumBlocks() int { return len(d.BlockEdges) }
+
+// CutVertices returns the articulation points in increasing order.
+func (d *Decomposition) CutVertices() []graph.NodeID {
+	var out []graph.NodeID
+	for v, c := range d.IsCut {
+		if c {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// frame is one node of the explicit DFS stack.
+type frame struct {
+	v, parent graph.NodeID
+	nextEdge  int32 // index into v's adjacency to resume from
+}
+
+// Decompose computes the biconnected components of g. The graph must be
+// connected; isolated single-node graphs yield zero blocks. Disconnected
+// inputs are processed per component (each component decomposes
+// independently), so callers that guarantee connectivity get the classic
+// single-tree BCT.
+func Decompose(g *graph.WGraph) *Decomposition {
+	n := g.NumNodes()
+	d := &Decomposition{
+		IsCut:    make([]bool, n),
+		BlocksOf: make([][]int32, n),
+	}
+	if n == 0 {
+		return d
+	}
+	const unvisited = int32(-1)
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	for i := range disc {
+		disc[i] = unvisited
+	}
+	var timer int32
+	var edgeStack []Edge
+	var stack []frame
+
+	emitBlock := func(u, v graph.NodeID) {
+		// Pop edges until (u,v) inclusive; they form one block.
+		var blk []Edge
+		for len(edgeStack) > 0 {
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			blk = append(blk, e)
+			if e.U == u && e.V == v {
+				break
+			}
+		}
+		d.addBlock(blk)
+	}
+
+	for root := 0; root < n; root++ {
+		if disc[root] != unvisited {
+			continue
+		}
+		rootChildren := 0
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		stack = append(stack[:0], frame{v: graph.NodeID(root), parent: -1})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			nbrs := g.Neighbors(v)
+			ws := g.Weights(v)
+			advanced := false
+			for int(f.nextEdge) < len(nbrs) {
+				w := nbrs[f.nextEdge]
+				wt := ws[f.nextEdge]
+				f.nextEdge++
+				if w == f.parent {
+					continue // simple graph: exactly one parent edge
+				}
+				if disc[w] == unvisited {
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					if v == graph.NodeID(root) {
+						rootChildren++
+					}
+					edgeStack = append(edgeStack, Edge{U: v, V: w, W: wt})
+					stack = append(stack, frame{v: w, parent: v})
+					advanced = true
+					break
+				}
+				if disc[w] < disc[v] {
+					// Back edge to an ancestor.
+					edgeStack = append(edgeStack, Edge{U: v, V: w, W: wt})
+					if disc[w] < low[v] {
+						low[v] = disc[w]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished; propagate low to parent and test the
+			// articulation condition for the tree edge parent→v.
+			stack = stack[:len(stack)-1]
+			if f.parent >= 0 {
+				p := f.parent
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+				if low[v] >= disc[p] {
+					if p != graph.NodeID(root) {
+						d.IsCut[p] = true
+					}
+					emitBlock(p, v)
+				}
+			}
+		}
+		if rootChildren >= 2 {
+			d.IsCut[root] = true
+		}
+	}
+	return d
+}
+
+func (d *Decomposition) addBlock(edges []Edge) {
+	id := int32(len(d.BlockEdges))
+	d.BlockEdges = append(d.BlockEdges, edges)
+	// Collect distinct nodes.
+	seen := make(map[graph.NodeID]struct{}, len(edges)+1)
+	var nodes []graph.NodeID
+	add := func(v graph.NodeID) {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			nodes = append(nodes, v)
+		}
+	}
+	for _, e := range edges {
+		add(e.U)
+		add(e.V)
+	}
+	// Insertion order is DFS-ish; sort for determinism.
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j] < nodes[j-1]; j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+	d.BlockNodes = append(d.BlockNodes, nodes)
+	for _, v := range nodes {
+		d.BlocksOf[v] = append(d.BlocksOf[v], id)
+	}
+}
+
+// Stats summarises a decomposition the way Table I reports it: the number
+// of blocks, the node count of the largest block, and the average node
+// count per block.
+type Stats struct {
+	Count int
+	Max   int
+	Avg   float64
+}
+
+// Summarize computes block statistics.
+func (d *Decomposition) Summarize() Stats {
+	s := Stats{Count: d.NumBlocks()}
+	total := 0
+	for _, nodes := range d.BlockNodes {
+		total += len(nodes)
+		if len(nodes) > s.Max {
+			s.Max = len(nodes)
+		}
+	}
+	if s.Count > 0 {
+		s.Avg = float64(total) / float64(s.Count)
+	}
+	return s
+}
+
+// CommonBlock returns a block id containing both u and v, or -1. Cut
+// vertices have short block lists in practice; the scan intersects the
+// smaller list against a set of the larger one only when both are long.
+func (d *Decomposition) CommonBlock(u, v graph.NodeID) int32 {
+	a, b := d.BlocksOf[u], d.BlocksOf[v]
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) <= 8 {
+		for _, x := range a {
+			for _, y := range b {
+				if x == y {
+					return x
+				}
+			}
+		}
+		return -1
+	}
+	set := make(map[int32]struct{}, len(b))
+	for _, y := range b {
+		set[y] = struct{}{}
+	}
+	for _, x := range a {
+		if _, ok := set[x]; ok {
+			return x
+		}
+	}
+	return -1
+}
+
+// Validate checks the defining invariants of the decomposition against the
+// source graph: every edge in exactly one block, cut flags consistent with
+// block membership counts. Used by tests.
+func (d *Decomposition) Validate(g *graph.WGraph) error {
+	edgeCount := 0
+	for _, blk := range d.BlockEdges {
+		edgeCount += len(blk)
+		for _, e := range blk {
+			if w, ok := g.EdgeWeight(e.U, e.V); !ok || w != e.W {
+				return fmt.Errorf("bicc: block edge {%d,%d,%d} not in graph", e.U, e.V, e.W)
+			}
+		}
+	}
+	if edgeCount != g.NumEdges() {
+		return fmt.Errorf("bicc: blocks cover %d edges, graph has %d", edgeCount, g.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		inBlocks := len(d.BlocksOf[v])
+		if d.IsCut[v] && inBlocks < 2 {
+			return fmt.Errorf("bicc: cut vertex %d in %d blocks", v, inBlocks)
+		}
+		if !d.IsCut[v] && inBlocks > 1 {
+			return fmt.Errorf("bicc: non-cut vertex %d in %d blocks", v, inBlocks)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package bitset provides a dense fixed-size bitset used by graph
+// traversals and the reduction pipeline. It is deliberately minimal: the
+// hot loops of direction-optimising BFS iterate over raw words.
+package bitset
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// New returns a bitset able to hold values in [0, n).
+func New(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity n the set was created with.
+func (b *Bitset) Len() int { return b.n }
+
+// Set adds i to the set.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear removes i from the set.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether i is in the set.
+func (b *Bitset) Test(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of elements in the set.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset removes all elements.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// ForEach calls fn for every element in increasing order.
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			i := wi<<6 + bit
+			if i >= b.n {
+				return
+			}
+			fn(i)
+			w &= w - 1
+		}
+	}
+}
+
+// Union sets b to b ∪ other. Both sets must have the same capacity.
+func (b *Bitset) Union(other *Bitset) {
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// Any reports whether the set is non-empty.
+func (b *Bitset) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}

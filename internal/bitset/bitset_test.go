@@ -1,0 +1,105 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Errorf("fresh set should not contain %d", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Errorf("Set(%d) then Test failed", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Error("Clear(64) failed")
+	}
+	if b.Count() != 7 {
+		t.Fatalf("Count after clear = %d, want 7", b.Count())
+	}
+}
+
+func TestResetAndAny(t *testing.T) {
+	b := New(100)
+	if b.Any() {
+		t.Error("fresh set should be empty")
+	}
+	b.Set(42)
+	if !b.Any() {
+		t.Error("set with element should be Any")
+	}
+	b.Reset()
+	if b.Any() || b.Count() != 0 {
+		t.Error("Reset should empty the set")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	b := New(200)
+	want := []int{3, 64, 65, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ForEach[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Set(1)
+	b.Set(69)
+	a.Union(b)
+	if !a.Test(1) || !a.Test(69) {
+		t.Error("Union missing elements")
+	}
+	if a.Count() != 2 {
+		t.Errorf("Count = %d, want 2", a.Count())
+	}
+}
+
+// Property: the bitset agrees with a map[int]bool model under random ops.
+func TestModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) + 1
+		b := New(n)
+		model := map[int]bool{}
+		for op := 0; op < 200; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				b.Set(i)
+				model[i] = true
+			case 1:
+				b.Clear(i)
+				delete(model, i)
+			case 2:
+				if b.Test(i) != model[i] {
+					return false
+				}
+			}
+		}
+		return b.Count() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

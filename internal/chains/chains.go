@@ -1,0 +1,241 @@
+// Package chains implements the "C" of BRICS: discovery, classification and
+// contraction of chain nodes (Section III-B of the paper). A chain is a
+// maximal path u - a₁ - a₂ - … - a_ℓ - v whose interior nodes all have
+// degree two. The paper's four chain types are:
+//
+//	Type-1: one endpoint is a degree-1 node (a dangling tail) — redundant.
+//	Type-2: both endpoints are the same node (a pendant cycle) — redundant.
+//	Type-3: a chain strictly longer than a parallel connection — redundant.
+//	Type-4: identical chains (equal endpoints, equal length) — all but one
+//	        redundant.
+//
+// Where the paper says chain nodes are "removed", non-redundant chains must
+// keep the graph connected, so this package *contracts* every chain with two
+// distinct live endpoints into a single weighted edge of weight ℓ+1 and
+// removes the interior nodes; redundant parallels are then dropped
+// automatically by the weighted builder, which keeps only the lightest edge
+// of each parallel group. Interior distances are recovered per BFS source by
+// the split formula of the paper's Algorithm 2 (see Extend).
+package chains
+
+import (
+	"repro/internal/graph"
+)
+
+// Type classifies a chain per the paper's Fig. 1.
+type Type uint8
+
+const (
+	// Dangling is Type-1: the chain ends in a degree-1 node; only the u
+	// anchor exists.
+	Dangling Type = iota + 1
+	// Cycle is Type-2: both endpoints are the same node.
+	Cycle
+	// Parallel is Type-3/4: a chain between two distinct anchors. Whether
+	// it is redundant (3/4) or the surviving connection is decided later
+	// by comparing contracted edges; the interior post-processing is
+	// identical either way.
+	Parallel
+)
+
+func (t Type) String() string {
+	switch t {
+	case Dangling:
+		return "dangling(type-1)"
+	case Cycle:
+		return "cycle(type-2)"
+	case Parallel:
+		return "parallel(type-3/4)"
+	default:
+		return "invalid"
+	}
+}
+
+// Chain records one discovered chain. Node ids are in the coordinate system
+// of the graph handed to Find.
+type Chain struct {
+	// U is the anchor the interior is enumerated from. For Dangling
+	// chains it is the only anchor.
+	U graph.NodeID
+	// V is the far anchor; -1 for Dangling chains; equal to U for Cycle
+	// chains.
+	V graph.NodeID
+	// Interior lists the removed nodes in path order starting adjacent
+	// to U. Interior[i] is at offset i+1 from U along the chain.
+	Interior []graph.NodeID
+	// Type classifies the chain.
+	Type Type
+}
+
+// Len returns ℓ, the number of interior nodes.
+func (c *Chain) Len() int { return len(c.Interior) }
+
+// EdgeWeight returns the weight of the contracted edge (ℓ+1). Meaningful
+// only for Parallel chains with U != V.
+func (c *Chain) EdgeWeight() int32 { return int32(len(c.Interior)) + 1 }
+
+// Result of chain discovery.
+type Result struct {
+	// Chains lists every discovered chain.
+	Chains []Chain
+	// Removed is the total number of interior nodes across chains.
+	Removed int
+	// WholeGraph is set when the entire input is a single path or cycle
+	// (every node has degree ≤ 2). No chains are emitted in that case;
+	// callers must special-case such graphs (closed-form farness).
+	WholeGraph bool
+}
+
+// Find discovers all maximal chains of g. The returned chains have disjoint
+// interiors; anchors (degree ≠ 2 nodes) are never interior to any chain.
+//
+// Degree-1 nodes adjacent to an anchor become singleton Dangling chains;
+// degree-1 nodes ending a run of degree-2 nodes are folded into that run's
+// Dangling chain, matching the paper's Type-1.
+func Find(g *graph.Graph) *Result {
+	n := g.NumNodes()
+	res := &Result{}
+
+	isInterior := func(v graph.NodeID) bool {
+		d := g.Degree(v)
+		return d == 1 || d == 2
+	}
+	anchors := 0
+	for v := 0; v < n; v++ {
+		if !isInterior(graph.NodeID(v)) {
+			anchors++
+		}
+	}
+	if anchors == 0 {
+		// Path or cycle graph (or a collection of them): no anchors to
+		// hang chains from.
+		res.WholeGraph = n > 0
+		return res
+	}
+
+	visited := make([]bool, n)
+
+	// walk follows a run of degree-≤2 nodes starting from `first`, which
+	// was reached from `from`. It returns the interior nodes in order and
+	// the terminating anchor (or -1 if the run ends at a degree-1 node).
+	walk := func(from, first graph.NodeID) (interior []graph.NodeID, end graph.NodeID) {
+		prev, cur := from, first
+		for {
+			if !isInterior(cur) {
+				return interior, cur
+			}
+			visited[cur] = true
+			interior = append(interior, cur)
+			if g.Degree(cur) == 1 {
+				return interior, -1
+			}
+			nbrs := g.Neighbors(cur)
+			next := nbrs[0]
+			if next == prev {
+				next = nbrs[1]
+			}
+			prev, cur = cur, next
+		}
+	}
+
+	for a := 0; a < n; a++ {
+		u := graph.NodeID(a)
+		if isInterior(u) {
+			continue
+		}
+		for _, first := range g.Neighbors(u) {
+			if !isInterior(first) || visited[first] {
+				continue
+			}
+			interior, end := walk(u, first)
+			switch {
+			case end == -1:
+				res.Chains = append(res.Chains, Chain{U: u, V: -1, Interior: interior, Type: Dangling})
+			case end == u:
+				res.Chains = append(res.Chains, Chain{U: u, V: u, Interior: interior, Type: Cycle})
+			default:
+				res.Chains = append(res.Chains, Chain{U: u, V: end, Interior: interior, Type: Parallel})
+			}
+			res.Removed += len(interior)
+		}
+	}
+	// Note on the cycle case: a pendant cycle attached at u is traversed
+	// once from each of u's two entry edges; the visited[] marks prevent
+	// the second traversal from re-emitting it, because its first interior
+	// node is already visited. A Parallel chain is likewise discovered
+	// exactly once from whichever anchor scans it first.
+	return res
+}
+
+// InteriorDistance returns d(s, Interior[i]) given the source's distances
+// to the chain's anchors, using the split formula of the paper's
+// Algorithm 2. du is d(s,U); dv is d(s,V) and ignored for Dangling chains.
+// Position i is 0-based (Interior[i] sits i+1 steps from U).
+func (c *Chain) InteriorDistance(du, dv int32, i int) int32 {
+	off := int32(i) + 1
+	switch c.Type {
+	case Dangling:
+		return du + off
+	case Cycle:
+		// Around the pendant cycle of length ℓ+1 edges.
+		other := int32(len(c.Interior)) + 1 - off
+		if other < off {
+			off = other
+		}
+		return du + off
+	default:
+		l := int32(len(c.Interior)) + 1 // contracted edge weight
+		a := du + off
+		b := dv + l - off
+		if b < a {
+			return b
+		}
+		return a
+	}
+}
+
+// SumInteriorDistances returns Σ_i d(s, Interior[i]) in O(1), used to add a
+// chain's contribution to the farness of a BFS source without touching each
+// interior node (the optimisation the paper describes for Type-1 chains,
+// generalised to all types).
+func (c *Chain) SumInteriorDistances(du, dv int32) int64 {
+	l := int64(len(c.Interior))
+	if l == 0 {
+		return 0
+	}
+	switch c.Type {
+	case Dangling:
+		// Σ_{o=1..ℓ} (du+o) = ℓ·du + ℓ(ℓ+1)/2
+		return l*int64(du) + l*(l+1)/2
+	case Cycle:
+		// Offsets min(o, ℓ+1-o) for o=1..ℓ form the ramp 1..⌈ℓ/2⌉..1;
+		// closed form: m(m+1) for ℓ=2m, (m+1)² for ℓ=2m+1.
+		m := l / 2
+		var s int64
+		if l%2 == 0 {
+			s = m * (m + 1)
+		} else {
+			s = (m + 1) * (m + 1)
+		}
+		return l*int64(du) + s
+	default:
+		// Split point: offsets o where du+o <= dv+L-o, i.e.
+		// o <= (dv-du+L)/2. Left side contributes du+o, right dv+L-o.
+		L := l + 1
+		t := (int64(dv) - int64(du) + L) / 2
+		if t < 0 {
+			t = 0
+		}
+		if t > l {
+			t = l
+		}
+		// left: o=1..t
+		left := t*int64(du) + t*(t+1)/2
+		// right: o=t+1..ℓ of dv+L-o; substitute r=L-o, r=L-ℓ..L-t-1=1..L-t-1
+		rcount := l - t
+		// Σ_{o=t+1..ℓ} (L-o) = Σ_{r=1..L-t-1} r − Σ_{r=1..L-ℓ-1} r, and L-ℓ-1 = 0
+		rsum := (L - t - 1) * (L - t) / 2
+		right := rcount*int64(dv) + rsum
+		return left + right
+	}
+}

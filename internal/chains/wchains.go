@@ -1,0 +1,150 @@
+package chains
+
+import (
+	"repro/internal/graph"
+)
+
+// WChain is a chain discovered in a *weighted* (already contracted) graph.
+// Removing twins, chains and redundant nodes exposes new degree-≤2 nodes
+// that the paper's single pass leaves in place; iterating the reduction
+// (reduce.RunIterative) contracts them too, and those chains carry
+// non-unit edge weights.
+type WChain struct {
+	// U and V are the anchors; V is -1 for dangling chains and equals U
+	// for pendant cycles.
+	U, V graph.NodeID
+	// Interior lists the removed nodes in path order from U.
+	Interior []graph.NodeID
+	// Offsets[i] is the weighted distance from U to Interior[i] along the
+	// chain (strictly increasing).
+	Offsets []int32
+	// Total is the weighted length of the whole chain from U to V
+	// (meaningful for Parallel and Cycle chains; for Dangling chains it
+	// equals Offsets[len-1]).
+	Total int32
+	// Type classifies the chain exactly like the unweighted case.
+	Type Type
+}
+
+// WResult of weighted chain discovery.
+type WResult struct {
+	Chains []WChain
+	// Removed counts interior nodes.
+	Removed int
+	// WholeGraph marks a pure weighted path/cycle input.
+	WholeGraph bool
+}
+
+// WFind discovers maximal chains of degree-≤2 nodes in a weighted graph,
+// mirroring Find but tracking weighted offsets.
+func WFind(g *graph.WGraph) *WResult {
+	n := g.NumNodes()
+	res := &WResult{}
+	isInterior := func(v graph.NodeID) bool {
+		d := g.Degree(v)
+		return d == 1 || d == 2
+	}
+	anchors := 0
+	for v := 0; v < n; v++ {
+		if !isInterior(graph.NodeID(v)) {
+			anchors++
+		}
+	}
+	if anchors == 0 {
+		res.WholeGraph = n > 0
+		return res
+	}
+	visited := make([]bool, n)
+
+	// walk follows a degree-≤2 run from `first` (entered from `from` over
+	// an edge of weight w0), accumulating weighted offsets.
+	walk := func(from, first graph.NodeID, w0 int32) (interior []graph.NodeID, offsets []int32, end graph.NodeID, total int32) {
+		prev, cur := from, first
+		dist := w0
+		for {
+			if !isInterior(cur) {
+				return interior, offsets, cur, dist
+			}
+			visited[cur] = true
+			interior = append(interior, cur)
+			offsets = append(offsets, dist)
+			if g.Degree(cur) == 1 {
+				return interior, offsets, -1, dist
+			}
+			nbrs := g.Neighbors(cur)
+			ws := g.Weights(cur)
+			ni := 0
+			if nbrs[0] == prev {
+				ni = 1
+			}
+			dist += ws[ni]
+			prev, cur = cur, nbrs[ni]
+		}
+	}
+
+	for a := 0; a < n; a++ {
+		u := graph.NodeID(a)
+		if isInterior(u) {
+			continue
+		}
+		nbrs := g.Neighbors(u)
+		ws := g.Weights(u)
+		for i, first := range nbrs {
+			if !isInterior(first) || visited[first] {
+				continue
+			}
+			interior, offsets, end, total := walk(u, first, ws[i])
+			c := WChain{U: u, V: end, Interior: interior, Offsets: offsets, Total: total}
+			switch {
+			case end == -1:
+				c.Type = Dangling
+				c.Total = offsets[len(offsets)-1]
+			case end == u:
+				c.Type = Cycle
+			default:
+				c.Type = Parallel
+			}
+			res.Chains = append(res.Chains, c)
+			res.Removed += len(interior)
+		}
+	}
+	return res
+}
+
+// InteriorDistance returns d(s, Interior[i]) given anchor distances, the
+// weighted analogue of the paper's Algorithm 2 split formula.
+func (c *WChain) InteriorDistance(du, dv int32, i int) int32 {
+	off := c.Offsets[i]
+	switch c.Type {
+	case Dangling:
+		return du + off
+	case Cycle:
+		other := c.Total - off
+		if other < off {
+			off = other
+		}
+		return du + off
+	default:
+		a := du + off
+		b := dv + c.Total - off
+		if b < a {
+			return b
+		}
+		return a
+	}
+}
+
+// SumInteriorDistances returns Σ_i d(s, Interior[i]) in O(ℓ); unlike the
+// unit-weight case there is no closed form over arbitrary offsets.
+func (c *WChain) SumInteriorDistances(du, dv int32) int64 {
+	var s int64
+	for i := range c.Interior {
+		s += int64(c.InteriorDistance(du, dv, i))
+	}
+	return s
+}
+
+// walkNext helper note: the two-neighbour selection above picks the
+// non-`prev` neighbour. A pendant cycle's closing step (cur adjacent to u
+// twice is impossible in a simple weighted graph) terminates because u is
+// an anchor.

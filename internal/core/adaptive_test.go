@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEstimateAdaptiveConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomMixed(rng, 80)
+	res, err := EstimateAdaptive(g, AdaptiveOptions{
+		Base:        Options{Techniques: TechCumulative, Seed: 7},
+		TargetError: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	if len(res.Drifts) != len(res.Rounds)-1 {
+		t.Fatalf("drifts %d, rounds %d", len(res.Drifts), len(res.Rounds))
+	}
+	// Fractions must escalate monotonically up to the cap.
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i] <= res.Rounds[i-1] {
+			t.Fatalf("rounds not escalating: %v", res.Rounds)
+		}
+	}
+	// The returned estimate must be decent.
+	want := ExactFarness(g, 2)
+	var q float64
+	for i := range want {
+		q += res.Farness[i] / math.Max(want[i], 1)
+	}
+	q /= float64(len(want))
+	if q < 0.85 || q > 1.15 {
+		t.Fatalf("adaptive quality = %v", q)
+	}
+}
+
+func TestEstimateAdaptiveRespectsMaxFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomMixed(rng, 40)
+	res, err := EstimateAdaptive(g, AdaptiveOptions{
+		Base:            Options{Techniques: TechChains, Seed: 1},
+		TargetError:     1e-12, // unreachable: force escalation to the cap
+		InitialFraction: 0.1,
+		MaxFraction:     0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if last > 0.3+1e-9 {
+		t.Fatalf("fraction exceeded cap: %v", res.Rounds)
+	}
+}
+
+func TestEstimateAdaptiveDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomMixed(rng, 30)
+	if _, err := EstimateAdaptive(g, AdaptiveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomMixed(rng, 30)
+	res, err := Estimate(g, Options{Techniques: TechCumulative, SampleFraction: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, e, err := VerifyQuality(g, res, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 0.7 || q > 1.3 || e < 0 {
+		t.Fatalf("quality %v err%% %v", q, e)
+	}
+	bad := &Result{Farness: []float64{1}}
+	if _, _, err := VerifyQuality(g, bad, 1); err == nil {
+		t.Fatal("size mismatch should error")
+	}
+}

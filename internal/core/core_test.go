@@ -1,0 +1,421 @@
+package core
+
+import (
+	"repro/internal/gen"
+
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// randomMixed builds a connected graph exercising every reduction: random
+// core plus twins, chains of all kinds, and redundant-node constructions.
+func randomMixed(rng *rand.Rand, scale int) *graph.Graph {
+	nc := rng.Intn(scale) + 5
+	b := graph.NewGrowingBuilder()
+	for i := 1; i < nc; i++ {
+		_ = b.AddEdge(int32(rng.Intn(i)), int32(i))
+	}
+	for i := 0; i < 2*nc; i++ {
+		_ = b.AddEdge(int32(rng.Intn(nc)), int32(rng.Intn(nc)))
+	}
+	next := int32(nc)
+	for c := 0; c < rng.Intn(3); c++ {
+		hub := int32(rng.Intn(nc))
+		for j := 0; j < rng.Intn(3)+2; j++ {
+			_ = b.AddEdge(hub, next)
+			next++
+		}
+	}
+	for c := 0; c < rng.Intn(5); c++ {
+		l := rng.Intn(5) + 1
+		u := int32(rng.Intn(nc))
+		prev := u
+		for j := 0; j < l; j++ {
+			_ = b.AddEdge(prev, next)
+			prev = next
+			next++
+		}
+		switch rng.Intn(3) {
+		case 0:
+		case 1:
+			_ = b.AddEdge(prev, u)
+		case 2:
+			v := int32(rng.Intn(nc))
+			if v != u {
+				_ = b.AddEdge(prev, v)
+			}
+		}
+	}
+	for c := 0; c < rng.Intn(3); c++ {
+		x, y, z := int32(rng.Intn(nc)), int32(rng.Intn(nc)), int32(rng.Intn(nc))
+		if x == y || y == z || x == z {
+			continue
+		}
+		_ = b.AddEdge(x, y)
+		_ = b.AddEdge(y, z)
+		_ = b.AddEdge(x, z)
+		_ = b.AddEdge(next, x)
+		_ = b.AddEdge(next, y)
+		_ = b.AddEdge(next, z)
+		next++
+	}
+	return graph.Connect(b.Build())
+}
+
+func maxAbsRel(a, b []float64) float64 {
+	var worst float64
+	for i := range a {
+		denom := math.Max(math.Abs(b[i]), 1)
+		if r := math.Abs(a[i]-b[i]) / denom; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func TestExactFarnessMatchesDefinition(t *testing.T) {
+	// Square with a tail: 0-1-2-3-0, 3-4.
+	g := graph.FromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {3, 4}})
+	far := ExactFarness(g, 2)
+	want := []float64{
+		1 + 2 + 1 + 2, // node 0
+		1 + 1 + 2 + 3, // node 1
+		2 + 1 + 1 + 2, // node 2
+		1 + 2 + 1 + 1, // node 3
+		2 + 3 + 2 + 1, // node 4
+	}
+	for i := range want {
+		if far[i] != want[i] {
+			t.Errorf("farness[%d] = %v, want %v", i, far[i], want[i])
+		}
+	}
+}
+
+func TestClosedFormPath(t *testing.T) {
+	b := graph.NewBuilder(7)
+	for i := 0; i < 6; i++ {
+		_ = b.AddEdge(int32(i), int32(i+1))
+	}
+	g := b.Build()
+	res, err := Estimate(g, Options{Techniques: TechCumulative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.ClosedForm {
+		t.Fatal("path should take the closed form")
+	}
+	want := ExactFarness(g, 1)
+	for i := range want {
+		if res.Farness[i] != want[i] || !res.Exact[i] {
+			t.Errorf("farness[%d] = %v (exact=%v), want %v", i, res.Farness[i], res.Exact[i], want[i])
+		}
+	}
+}
+
+func TestClosedFormCycle(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8, 9} {
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			_ = b.AddEdge(int32(i), int32((i+1)%n))
+		}
+		g := b.Build()
+		res, err := Estimate(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ExactFarness(g, 1)
+		for i := range want {
+			if res.Farness[i] != want[i] {
+				t.Errorf("n=%d: farness[%d] = %v, want %v", n, i, res.Farness[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRandomSamplingFullFractionIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomMixed(rng, 15)
+	res := RandomSampling(g, 1.0, 2, 7)
+	want := ExactFarness(g, 2)
+	for i := range want {
+		if res.Farness[i] != want[i] || !res.Exact[i] {
+			t.Fatalf("farness[%d] = %v (exact=%v), want %v", i, res.Farness[i], res.Exact[i], want[i])
+		}
+	}
+}
+
+func TestGlobalFullFractionExactOnKept(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomMixed(rng, 12)
+		want := ExactFarness(g, 2)
+		for _, tech := range []Technique{TechChains, TechICR, TechIdentical, TechRedundant} {
+			res, err := Estimate(g, Options{
+				Techniques:     tech,
+				SampleFraction: 1.0,
+				Workers:        2,
+				Seed:           seed,
+			})
+			if err != nil {
+				return false
+			}
+			for v := range want {
+				if res.Exact[v] && res.Farness[v] != want[v] {
+					return false
+				}
+				// Estimated values must still be positive and finite.
+				if !(res.Farness[v] > 0) || math.IsInf(res.Farness[v], 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The strongest end-to-end property: with only the BiCC decomposition (no
+// reductions) and 100% sampling, every node's farness is exact — this
+// exercises the full block/cut-tree aggregation machinery.
+func TestCumulativeBiCCOnlyFullFractionIsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomMixed(rng, 15)
+		want := ExactFarness(g, 2)
+		res, err := Estimate(g, Options{
+			Techniques:     TechBiCC,
+			SampleFraction: 1.0,
+			Workers:        2,
+			Seed:           seed,
+		})
+		if err != nil {
+			return false
+		}
+		for v := range want {
+			if res.Farness[v] != want[v] {
+				return false
+			}
+			if !res.Exact[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Full BRICS at 100% sampling: every value flagged exact must match the
+// oracle exactly; estimated values (removed-removed distance pairs) stay
+// within a factor of 2 per node and the average quality stays near 1.
+// The per-node slack is deliberate: these adversarial 10-30 node graphs
+// can reduce to 2-4 kept nodes, where any sampling estimator is noisy —
+// the realistic-workload quality assertions live in internal/experiments.
+func TestCumulativeFullFractionExactFlags(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomMixed(rng, 15)
+		want := ExactFarness(g, 2)
+		res, err := Estimate(g, Options{
+			Techniques:     TechCumulative,
+			SampleFraction: 1.0,
+			Workers:        2,
+			Seed:           seed,
+		})
+		if err != nil {
+			return false
+		}
+		if res.Stats.FallbackAssignments != 0 {
+			return false
+		}
+		var quality float64
+		for v := range want {
+			if res.Exact[v] && math.Abs(res.Farness[v]-want[v]) > 1e-9 {
+				return false
+			}
+			denom := math.Max(want[v], 1)
+			if math.Abs(res.Farness[v]-want[v])/denom > 1.0 {
+				return false
+			}
+			quality += res.Farness[v] / denom
+		}
+		quality /= float64(len(want))
+		return quality > 0.8 && quality < 1.25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateRejectsDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int32{{0, 1}, {2, 3}})
+	if _, err := Estimate(g, Options{}); err == nil {
+		t.Fatal("expected error for disconnected graph")
+	}
+}
+
+func TestEstimateTinyGraphs(t *testing.T) {
+	empty := graph.FromEdges(0, nil)
+	if res, err := Estimate(empty, Options{}); err != nil || len(res.Farness) != 0 {
+		t.Fatalf("empty graph: %v %v", res, err)
+	}
+	single := graph.FromEdges(1, nil)
+	res, err := Estimate(single, Options{})
+	if err != nil || res.Farness[0] != 0 || !res.Exact[0] {
+		t.Fatalf("single node: %+v %v", res, err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := randomMixed(rng, 20)
+	opts := Options{Techniques: TechCumulative, SampleFraction: 0.3, Workers: 3, Seed: 123}
+	a, err := Estimate(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Estimate(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Farness {
+		if a.Farness[i] != b.Farness[i] {
+			t.Fatalf("non-deterministic at node %d: %v vs %v", i, a.Farness[i], b.Farness[i])
+		}
+	}
+}
+
+func TestEstimatorKindsBothReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomMixed(rng, 30)
+	want := ExactFarness(g, 2)
+	for _, kind := range []EstimatorKind{EstimatorWeighted, EstimatorPaper} {
+		res, err := Estimate(g, Options{
+			Techniques:     TechCumulative,
+			SampleFraction: 0.5,
+			Seed:           1,
+			Estimator:      kind,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := maxAbsRel(res.Farness, want); r > 1.0 {
+			t.Errorf("estimator %d: worst relative error %v too large", kind, r)
+		}
+	}
+}
+
+func TestTechniqueString(t *testing.T) {
+	cases := map[Technique]string{
+		0:                        "S",
+		TechIdentical:            "IS",
+		TechChains:               "CS",
+		TechCR:                   "RCS",
+		TechICR:                  "RICS",
+		TechCumulative:           "BRICS",
+		TechBiCC:                 "BS",
+		TechBiCC | TechIdentical: "BIS",
+	}
+	for tech, want := range cases {
+		if got := tech.String(); got != want {
+			t.Errorf("String(%b) = %q, want %q", tech, got, want)
+		}
+	}
+}
+
+func TestSampleFractionDefaults(t *testing.T) {
+	o := &Options{}
+	if o.fraction() != 0.2 {
+		t.Errorf("default fraction = %v, want 0.2", o.fraction())
+	}
+	o.SampleFraction = 2.5
+	if o.fraction() != 1 {
+		t.Errorf("clamped fraction = %v, want 1", o.fraction())
+	}
+}
+
+// Lower sampling keeps reasonable quality on structured graphs (smoke-level
+// quality assertion; the benchmarks quantify it properly).
+func TestQualityAtModerateSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomMixed(rng, 60)
+	want := ExactFarness(g, 2)
+	res, err := Estimate(g, Options{
+		Techniques:     TechCumulative,
+		SampleFraction: 0.4,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quality float64
+	for i := range want {
+		quality += res.Farness[i] / want[i]
+	}
+	quality /= float64(len(want))
+	if quality < 0.85 || quality > 1.15 {
+		t.Errorf("quality = %v, want within [0.85, 1.15]", quality)
+	}
+}
+
+// The iterative (fixpoint) reduction must preserve the exactness contract.
+func TestIterativeReductionExactFlags(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomMixed(rng, 15)
+		want := ExactFarness(g, 2)
+		for _, tech := range []Technique{TechICR, TechCumulative} {
+			res, err := Estimate(g, Options{
+				Techniques:        tech,
+				SampleFraction:    1.0,
+				Seed:              seed,
+				IterateReductions: true,
+			})
+			if err != nil {
+				return false
+			}
+			var quality float64
+			for v := range want {
+				if res.Exact[v] && math.Abs(res.Farness[v]-want[v]) > 1e-9 {
+					return false
+				}
+				denom := math.Max(want[v], 1)
+				if math.Abs(res.Farness[v]-want[v])/denom > 1.0 {
+					return false
+				}
+				quality += res.Farness[v] / denom
+			}
+			quality /= float64(len(want))
+			if quality < 0.75 || quality > 1.3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterativeReducesMore(t *testing.T) {
+	g := gen.Road(6000, 3)
+	single, err := Estimate(g, Options{Techniques: TechCR, SampleFraction: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iter, err := Estimate(g, Options{Techniques: TechCR, SampleFraction: 0.2, Seed: 1, IterateReductions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter.Stats.ReducedNodes > single.Stats.ReducedNodes {
+		t.Fatalf("iterative kept more nodes (%d) than single pass (%d)",
+			iter.Stats.ReducedNodes, single.Stats.ReducedNodes)
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/queue"
+	"repro/internal/reduce"
+)
+
+// estimateGlobal runs the reduction-based estimator without the
+// biconnected decomposition (the paper's C+R and I+C+R configurations):
+// sample kept nodes of the reduced graph, traverse it per source, extend
+// distances over the removal log, and accumulate.
+func estimateGlobal(red *reduce.Reduction, opts *Options) (*Result, error) {
+	n := red.Orig.NumNodes()
+	nR := red.G.NumNodes()
+	res := &Result{
+		Farness: make([]float64, n),
+		Exact:   make([]bool, n),
+	}
+	k := samplesFor(nR, opts.fraction())
+	rng := rand.New(rand.NewSource(opts.Seed))
+	samplesReduced := sampleK(nR, k, rng)
+
+	// Degenerate-reduction augmentation: when the graph reduces so hard
+	// that fewer than minSamples sources remain (e.g. a star plus twins
+	// collapses to one node), the extrapolation has nothing to calibrate
+	// against. Add a few uniformly random *original* nodes as extra
+	// sources; their traversals run on the original graph and feed the
+	// same accumulators.
+	const minSamples = 4
+	var extraOrig []graph.NodeID
+	if k < minSamples && n > k {
+		keptSet := make(map[graph.NodeID]bool, k)
+		for _, sR := range samplesReduced {
+			keptSet[red.ToOld[sR]] = true
+		}
+		for _, cand := range sampleK(n, minSamples, rng) {
+			if len(extraOrig)+k >= minSamples {
+				break
+			}
+			if !keptSet[cand] {
+				extraOrig = append(extraOrig, cand)
+			}
+		}
+	}
+	res.Stats.Samples = k + len(extraOrig)
+
+	start := time.Now()
+	workers := par.Workers(opts.Workers)
+	unweighted := red.G.Unweighted()
+	maxW := red.G.MaxWeight()
+
+	acc := make([]int64, n)      // Σ over sources of d(s, ·), original ids
+	exactFar := make([]int64, n) // exact farness of sampled nodes
+	var sumSq []int64
+	if opts.ComputeStdErr {
+		sumSq = make([]int64, n)
+	}
+	isSample := make([]bool, n)
+	for _, sR := range samplesReduced {
+		isSample[red.ToOld[sR]] = true
+	}
+	for _, s := range extraOrig {
+		isSample[s] = true
+	}
+	kEff := k + len(extraOrig)
+	// Calibration accumulators for the ratio estimator: distances from
+	// samples to other samples vs to non-samples.
+	var s2s, s2n int64
+
+	type ws struct {
+		s        *bfs.Scratch
+		distOrig []int32
+		origQ    *queue.FIFO
+	}
+	scratch := make([]ws, workers)
+	for i := range scratch {
+		scratch[i] = ws{s: bfs.NewScratch(nR, maxW), distOrig: make([]int32, n), origQ: queue.NewFIFO(n)}
+	}
+
+	accumulateRow := func(w *ws, srcOrig graph.NodeID) {
+		var own, toSamples int64
+		for v, d := range w.distOrig {
+			own += int64(d)
+			atomic.AddInt64(&acc[v], int64(d))
+			if sumSq != nil {
+				atomic.AddInt64(&sumSq[v], int64(d)*int64(d))
+			}
+			if isSample[v] {
+				toSamples += int64(d)
+			}
+		}
+		atomic.StoreInt64(&exactFar[srcOrig], own)
+		atomic.AddInt64(&s2s, toSamples)
+		atomic.AddInt64(&s2n, own-toSamples)
+	}
+
+	par.ForDynamic(kEff, workers, 1, func(worker, i int) {
+		w := &scratch[worker]
+		if i < k {
+			srcR := samplesReduced[i]
+			bfs.WDistancesAuto(red.G, unweighted, srcR, w.s)
+			red.Scatter(w.s.Dist, w.distOrig)
+			red.Extend(w.distOrig)
+			accumulateRow(w, red.ToOld[srcR])
+			return
+		}
+		// Augmentation source: plain BFS on the original graph.
+		src := extraOrig[i-k]
+		bfs.Distances(red.Orig, src, w.distOrig, w.origQ)
+		accumulateRow(w, src)
+	})
+	res.Stats.Traverse = time.Since(start)
+
+	aggStart := time.Now()
+	for _, sR := range samplesReduced {
+		res.Exact[red.ToOld[sR]] = true
+	}
+	for _, s := range extraOrig {
+		res.Exact[s] = true
+	}
+	k = kEff
+	// EstimatorPaper: scale the sampled distance sum by (n−1)/k — the
+	// literal reading of the paper's Algorithm 1 adaptation.
+	//
+	// EstimatorWeighted: additive offset calibration. Samples are kept
+	// (well-connected) nodes, so an unsampled node's mean distance to the
+	// non-sampled population (mostly reduced-away peripheral nodes)
+	// exceeds its mean distance to the samples by roughly the same offset
+	// Δ the sample rows exhibit: Δ = mean(sample→non-sample) −
+	// mean(sample→sample). Estimate Σ_{w non-sample} d(x,w) as
+	// (mean_s d(s,x) + Δ)·(m−1).
+	paperScale := float64(n-1) / float64(k)
+	m := int64(n - k) // non-sampled population
+	useOffset := opts.Estimator == EstimatorWeighted && m > 0 && k > 1
+	delta := 0.0
+	if useOffset {
+		mss := float64(s2s) / float64(k*(k-1))
+		msn := float64(s2n) / float64(int64(k)*m)
+		delta = msn - mss
+	}
+	// Single-sample degenerate case (tiny graphs reduced to almost
+	// nothing): the offset has nothing to calibrate against, so fall back
+	// to the landmark midpoint heuristic over the non-sampled population.
+	var lm []float64
+	var lmIdx []int
+	if opts.Estimator == EstimatorWeighted && !useOffset && k == 1 && m > 1 {
+		lmIdx = make([]int, 0, m)
+		ds := make([]int64, 0, m)
+		for v := 0; v < n; v++ {
+			if !res.Exact[v] {
+				lmIdx = append(lmIdx, v)
+				ds = append(ds, acc[v])
+			}
+		}
+		lm = landmarkSums(ds)
+	}
+	for v := 0; v < n; v++ {
+		switch {
+		case res.Exact[v]:
+			res.Farness[v] = float64(exactFar[v])
+		case useOffset:
+			mu := float64(acc[v])/float64(k) + delta
+			if mu < 1 {
+				mu = 1 // distinct nodes are at distance ≥ 1
+			}
+			res.Farness[v] = float64(acc[v]) + mu*float64(m-1)
+		default:
+			res.Farness[v] = float64(acc[v]) * paperScale
+		}
+	}
+	for i, v := range lmIdx {
+		res.Farness[v] = float64(acc[v]) + lm[i]
+	}
+	if sumSq != nil {
+		// StdErr of the extrapolated part: the estimate scales the mean
+		// sampled distance μ̂ by the unsampled mass, so its standard
+		// error is (m−1)·s/√k with s the sample standard deviation of
+		// the node's distances.
+		res.StdErr = make([]float64, n)
+		if k > 1 && m > 1 {
+			for v := 0; v < n; v++ {
+				if res.Exact[v] {
+					continue
+				}
+				mean := float64(acc[v]) / float64(k)
+				variance := (float64(sumSq[v])/float64(k) - mean*mean) * float64(k) / float64(k-1)
+				if variance < 0 {
+					variance = 0
+				}
+				res.StdErr[v] = float64(m-1) * math.Sqrt(variance/float64(k))
+			}
+		}
+	}
+	res.Stats.Aggregate = time.Since(aggStart)
+	return res, nil
+}

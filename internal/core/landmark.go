@@ -1,0 +1,38 @@
+package core
+
+import "sort"
+
+// landmarkSums implements the single-landmark midpoint heuristic: with only
+// one traversal source s available, the distance between two unsampled
+// nodes x, y is bracketed by the triangle inequality,
+// |d(s,x)−d(s,y)| ≤ d(x,y) ≤ d(s,x)+d(s,y), whose midpoint is
+// max(d(s,x), d(s,y)). For each index i it returns
+//
+//	Σ_{j≠i} max(ds[i], ds[j])
+//
+// in O(n log n) via sorting and suffix sums. This replaces the
+// scale-by-average extrapolation when a block (or the whole reduced graph)
+// ends up with a single usable sample, where averages have nothing to
+// calibrate against. The midpoint is exact on stars (the landmark on every
+// path) and errs toward over- rather than underestimation on well-connected
+// graphs — the safer direction for farness.
+func landmarkSums(ds []int64) []float64 {
+	n := len(ds)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	sorted := append([]int64(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// suffix[i] = Σ_{j >= i} sorted[j]
+	suffix := make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + sorted[i]
+	}
+	for i, dx := range ds {
+		// #values <= dx (including dx itself at least once).
+		le := sort.Search(n, func(k int) bool { return sorted[k] > dx })
+		out[i] = float64(dx)*float64(le-1) + float64(suffix[le])
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/queue"
+)
+
+// sampleK draws k distinct values from [0, n) uniformly at random using a
+// partial Fisher–Yates shuffle. k is clamped to [1, n].
+func sampleK(n, k int, rng *rand.Rand) []graph.NodeID {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	return ids[:k]
+}
+
+// samplesFor converts a fraction into a source count.
+func samplesFor(n int, fraction float64) int {
+	k := int(fraction*float64(n) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// RandomSampling is the paper's Algorithm 1: choose k = fraction·n nodes
+// uniformly at random, BFS from each in parallel, report exact farness for
+// the sampled nodes and the (n−1)/k-scaled distance sum for the rest.
+func RandomSampling(g *graph.Graph, fraction float64, workers int, seed int64) *Result {
+	n := g.NumNodes()
+	res := &Result{
+		Farness: make([]float64, n),
+		Exact:   make([]bool, n),
+	}
+	if n <= 1 {
+		for i := range res.Exact {
+			res.Exact[i] = true
+		}
+		return res
+	}
+	if fraction <= 0 {
+		fraction = 0.3
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	k := samplesFor(n, fraction)
+	rng := rand.New(rand.NewSource(seed))
+	samples := sampleK(n, k, rng)
+	res.Stats.Samples = k
+
+	start := time.Now()
+	workers = par.Workers(workers)
+	acc := make([]int64, n)
+	type ws struct {
+		dist []int32
+		q    *queue.FIFO
+	}
+	scratch := make([]ws, workers)
+	for i := range scratch {
+		scratch[i] = ws{dist: make([]int32, n), q: queue.NewFIFO(n)}
+	}
+	exactFar := make([]int64, n)
+	par.ForDynamic(k, workers, 1, func(worker, i int) {
+		s := &scratch[worker]
+		src := samples[i]
+		bfs.Distances(g, src, s.dist, s.q)
+		var own int64
+		for w, d := range s.dist {
+			own += int64(d)
+			atomic.AddInt64(&acc[w], int64(d))
+		}
+		atomic.StoreInt64(&exactFar[src], own)
+	})
+	res.Stats.Traverse = time.Since(start)
+
+	scale := float64(n-1) / float64(k)
+	for _, s := range samples {
+		res.Exact[s] = true
+	}
+	for v := 0; v < n; v++ {
+		if res.Exact[v] {
+			res.Farness[v] = float64(exactFar[v])
+		} else {
+			res.Farness[v] = float64(acc[v]) * scale
+		}
+	}
+	return res
+}

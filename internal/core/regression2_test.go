@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/reduce"
+)
+
+func TestRegressionSeedDiagnostics(t *testing.T) {
+	seed := int64(3371262653333254495)
+	rng := rand.New(rand.NewSource(seed))
+	g := randomMixed(rng, 15)
+	n := g.NumNodes()
+	want := ExactFarness(g, 1)
+	red, _ := reduce.Run(g, reduce.Options{Twins: true, Chains: true, Redundant: true})
+	res, err := Estimate(g, Options{Techniques: TechCumulative, SampleFraction: 1.0, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fallbacks=%d", res.Stats.FallbackAssignments)
+	for v := 0; v < n; v++ {
+		flag := ""
+		if res.Exact[v] && res.Farness[v] != want[v] {
+			flag = " <-- BADEXACT"
+		}
+		if math.Abs(res.Farness[v]-want[v])/math.Max(want[v], 1) > 0.5 {
+			flag += " <-- FAR"
+		}
+		if flag != "" {
+			t.Logf("node %2d (%-22s): got=%6.1f want=%6.1f exact=%v%s",
+				v, nodeKind(red, int32(v)), res.Farness[v], want[v], res.Exact[v], flag)
+		}
+	}
+	for i, e := range red.Events {
+		t.Logf("event [%d] %T removed=%v anchors=%v", i, e, e.Removed(), e.Anchors())
+	}
+	var edges [][2]int32
+	g.Edges(func(u, v int32) { edges = append(edges, [2]int32{u, v}) })
+	t.Logf("n=%d edges=%v", n, edges)
+}
+
+func nodeKind(red *reduce.Reduction, v int32) string {
+	if red.ToNew[v] >= 0 {
+		return "kept"
+	}
+	for _, e := range red.Events {
+		for _, r := range e.Removed() {
+			if r == v {
+				switch ev := e.(type) {
+				case *reduce.TwinEvent:
+					return "twin"
+				case *reduce.ChainEvent:
+					return "chain:" + ev.Kind.String()
+				case *reduce.RedundantEvent:
+					return "redundant"
+				}
+			}
+		}
+	}
+	return "unknown"
+}

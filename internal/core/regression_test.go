@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Regression seeds from historical property-test failures.
+func TestRegressionGlobalSeeds(t *testing.T) {
+	for _, seed := range []int64{5039225800229852003} {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomMixed(rng, 12)
+		want := ExactFarness(g, 2)
+		for _, tech := range []Technique{TechChains, TechICR, TechIdentical, TechRedundant} {
+			res, err := Estimate(g, Options{
+				Techniques:     tech,
+				SampleFraction: 1.0,
+				Workers:        2,
+				Seed:           seed,
+			})
+			if err != nil {
+				t.Fatalf("tech %v: %v", tech, err)
+			}
+			for v := range want {
+				if res.Exact[v] && res.Farness[v] != want[v] {
+					t.Fatalf("tech %v node %d: exact-flagged %v, want %v", tech, v, res.Farness[v], want[v])
+				}
+				if !(res.Farness[v] > 0) || math.IsInf(res.Farness[v], 0) {
+					t.Fatalf("tech %v node %d: bad estimate %v (want %v)", tech, v, res.Farness[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestRegressionCumulativeSeeds(t *testing.T) {
+	for _, seed := range []int64{3525524512728477606, 8015806781869127342} {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomMixed(rng, 15)
+		want := ExactFarness(g, 2)
+		res, err := Estimate(g, Options{
+			Techniques:     TechCumulative,
+			SampleFraction: 1.0,
+			Workers:        2,
+			Seed:           seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.FallbackAssignments != 0 {
+			t.Fatalf("fallback assignments: %d", res.Stats.FallbackAssignments)
+		}
+		for v := range want {
+			if res.Exact[v] && math.Abs(res.Farness[v]-want[v]) > 1e-9 {
+				t.Errorf("node %d: exact-flagged %v, want %v", v, res.Farness[v], want[v])
+			}
+			denom := math.Max(want[v], 1)
+			if math.Abs(res.Farness[v]-want[v])/denom > 0.5 {
+				t.Errorf("node %d: estimate %v too far from %v", v, res.Farness[v], want[v])
+			}
+		}
+		if t.Failed() {
+			t.Logf("n=%d stats=%+v", g.NumNodes(), res.Stats)
+			t.FailNow()
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// StdErr sanity: exact nodes get 0; estimated nodes get positive errors
+// that roughly bracket the true deviation on average.
+func TestComputeStdErr(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomMixed(rng, 80)
+	want := ExactFarness(g, 2)
+	for _, tech := range []Technique{TechICR, TechCumulative} {
+		res, err := Estimate(g, Options{
+			Techniques:     tech,
+			SampleFraction: 0.3,
+			Seed:           2,
+			ComputeStdErr:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StdErr == nil {
+			t.Fatal("StdErr not computed")
+		}
+		var covered, estimated int
+		for v := range want {
+			if res.Exact[v] {
+				if res.StdErr[v] != 0 {
+					t.Fatalf("exact node %d has StdErr %v", v, res.StdErr[v])
+				}
+				continue
+			}
+			estimated++
+			// 3-sigma coverage should hold for the bulk of nodes.
+			if math.Abs(res.Farness[v]-want[v]) <= 3*res.StdErr[v]+1e-9 {
+				covered++
+			}
+		}
+		if estimated > 0 && float64(covered)/float64(estimated) < 0.5 {
+			t.Errorf("tech %v: 3-sigma coverage only %d of %d", tech, covered, estimated)
+		}
+	}
+	// Off by default.
+	res, err := Estimate(g, Options{Techniques: TechICR, SampleFraction: 0.3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StdErr != nil {
+		t.Fatal("StdErr should be nil when not requested")
+	}
+}

@@ -1,0 +1,84 @@
+package gen
+
+import "repro/internal/graph"
+
+// Class labels the four graph classes of the paper's Table I.
+type Class string
+
+// The four classes evaluated in the paper.
+const (
+	ClassWeb       Class = "web"
+	ClassSocial    Class = "social"
+	ClassCommunity Class = "community"
+	ClassRoad      Class = "road"
+)
+
+// Dataset is one stand-in for a Table I graph. Build is deterministic.
+type Dataset struct {
+	// Name matches the paper's dataset row, suffixed "(sim)" because the
+	// graph is a structural simulation, not the original file.
+	Name string
+	// Class is the paper's grouping.
+	Class Class
+	// PaperNodes and PaperEdges are the original sizes from Table I.
+	PaperNodes, PaperEdges int
+	// Nodes is the simulated target size (scaled down to laptop scale;
+	// the paper's evaluation machine had 40 hardware threads and 128 GB).
+	Nodes int
+	// Seed drives the generator.
+	Seed int64
+	// Build generates the graph.
+	Build func() *graph.Graph
+}
+
+// Datasets returns the twelve Table I stand-ins in the paper's order:
+// three web graphs, three social graphs, three community networks, three
+// road networks. The `scale` parameter multiplies the default node counts
+// (1.0 ≈ 10–20× smaller than the originals); use smaller scales in unit
+// tests.
+func Datasets(scale float64) []Dataset {
+	if scale <= 0 {
+		scale = 1
+	}
+	sz := func(n int) int {
+		s := int(float64(n) * scale)
+		if s < 64 {
+			s = 64
+		}
+		return s
+	}
+	mk := func(name string, class Class, pn, pe, nodes int, seed int64, build func(n int, seed int64) *graph.Graph) Dataset {
+		n := sz(nodes)
+		return Dataset{
+			Name: name + " (sim)", Class: class,
+			PaperNodes: pn, PaperEdges: pe,
+			Nodes: n, Seed: seed,
+			Build: func() *graph.Graph { return build(n, seed) },
+		}
+	}
+	return []Dataset{
+		mk("web-NotreDame", ClassWeb, 325728, 1082486, 16000, 101, Web),
+		mk("web-BerkStan", ClassWeb, 685230, 6650145, 20000, 102, Web),
+		mk("webbase-1M", ClassWeb, 1000005, 2108301, 24000, 103, Web),
+		mk("soc-Slashdot081106", ClassSocial, 77360, 469180, 10000, 201, Social),
+		mk("soc-Slashdot090216", ClassSocial, 82168, 504230, 11000, 202, Social),
+		mk("soc-douban", ClassSocial, 131580, 828255, 13000, 203, Social),
+		mk("caidaRouterLevel", ClassCommunity, 192244, 609373, 12000, 301, Community),
+		mk("com-citationCiteseer", ClassCommunity, 268495, 1156647, 14000, 302, Community),
+		mk("com-amazon", ClassCommunity, 334863, 925872, 14000, 303, Community),
+		mk("osm-minnesota", ClassRoad, 2642, 3304, 2642, 401, Road),
+		mk("osm-luxembourg", ClassRoad, 114599, 119666, 12000, 402, Road),
+		mk("usroads", ClassRoad, 29164, 284142, 8000, 403, Road),
+	}
+}
+
+// ByName returns the dataset with the given name (with or without the
+// " (sim)" suffix), or false.
+func ByName(name string, scale float64) (Dataset, bool) {
+	for _, d := range Datasets(scale) {
+		if d.Name == name || d.Name == name+" (sim)" {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}

@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces a normalised Graph. It tolerates
+// raw real-world input: duplicate edges, both orientations of the same edge,
+// and self loops are all silently dropped, matching the paper's
+// preprocessing ("each graph is made simple undirected, unweighted ... by
+// removing self loops, multiple edges", Section IV-B).
+type Builder struct {
+	n     int
+	us    []NodeID
+	vs    []NodeID
+	fixed bool // n was set explicitly and must not grow
+}
+
+// NewBuilder returns a builder for a graph with n nodes. Edges touching
+// nodes outside [0, n) are rejected by AddEdge.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, fixed: true}
+}
+
+// NewGrowingBuilder returns a builder whose node count is the largest
+// endpoint seen plus one. Useful when streaming unknown edge lists.
+func NewGrowingBuilder() *Builder {
+	return &Builder{}
+}
+
+// AddEdge records the undirected edge {u, v}. Self loops are dropped.
+func (b *Builder) AddEdge(u, v NodeID) error {
+	if u < 0 || v < 0 {
+		return fmt.Errorf("graph: negative node id in edge {%d,%d}", u, v)
+	}
+	if b.fixed && (int(u) >= b.n || int(v) >= b.n) {
+		return fmt.Errorf("graph: edge {%d,%d} outside fixed node range [0,%d)", u, v, b.n)
+	}
+	if !b.fixed {
+		if int(u) >= b.n {
+			b.n = int(u) + 1
+		}
+		if int(v) >= b.n {
+			b.n = int(v) + 1
+		}
+	}
+	if u == v {
+		return nil // self loop: normalised away
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	return nil
+}
+
+// NumNodes returns the current node count.
+func (b *Builder) NumNodes() int { return b.n }
+
+// Build produces the CSR graph. The builder can be reused afterwards.
+func (b *Builder) Build() *Graph {
+	n := b.n
+	deg := make([]int64, n+1)
+	for i := range b.us {
+		deg[b.us[i]+1]++
+		deg[b.vs[i]+1]++
+	}
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	adj := make([]NodeID, deg[n])
+	cursor := make([]int64, n)
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		adj[deg[u]+cursor[u]] = v
+		cursor[u]++
+		adj[deg[v]+cursor[v]] = u
+		cursor[v]++
+	}
+	// Sort each adjacency list and strip duplicates in place.
+	out := adj[:0]
+	offsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		lo, hi := deg[v], deg[v+1]
+		nbrs := adj[lo:hi]
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		offsets[v] = int64(len(out))
+		var prev NodeID = -1
+		for _, w := range nbrs {
+			if w != prev {
+				out = append(out, w)
+				prev = w
+			}
+		}
+	}
+	offsets[n] = int64(len(out))
+	return &Graph{offsets: offsets, adj: out[:len(out):len(out)]}
+}
+
+// FromEdges builds a graph with n nodes from an explicit edge list. It is a
+// convenience wrapper used heavily by tests.
+func FromEdges(n int, edges [][2]NodeID) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			panic(err) // programmer error in literal edge list
+		}
+	}
+	return b.Build()
+}
+
+// WBuilder accumulates weighted edges and produces a WGraph. When parallel
+// edges are added, only the minimum-weight one is kept: heavier parallel
+// edges never carry shortest paths, which is exactly the Type-3/Type-4
+// redundant-chain rule after contraction.
+type WBuilder struct {
+	n  int
+	us []NodeID
+	vs []NodeID
+	ws []int32
+}
+
+// NewWBuilder returns a weighted builder for a graph with n nodes.
+func NewWBuilder(n int) *WBuilder { return &WBuilder{n: n} }
+
+// AddEdge records the undirected weighted edge {u, v}. Weights must be
+// positive; self loops are dropped (a self loop never carries a shortest
+// path).
+func (b *WBuilder) AddEdge(u, v NodeID, w int32) error {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		return fmt.Errorf("graph: edge {%d,%d} outside node range [0,%d)", u, v, b.n)
+	}
+	if w <= 0 {
+		return fmt.Errorf("graph: edge {%d,%d} has non-positive weight %d", u, v, w)
+	}
+	if u == v {
+		return nil
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+	return nil
+}
+
+// Build produces the weighted CSR graph, dropping all but the lightest of
+// each group of parallel edges.
+func (b *WBuilder) Build() *WGraph {
+	n := b.n
+	deg := make([]int64, n+1)
+	for i := range b.us {
+		deg[b.us[i]+1]++
+		deg[b.vs[i]+1]++
+	}
+	for v := 0; v < n; v++ {
+		deg[v+1] += deg[v]
+	}
+	adj := make([]NodeID, deg[n])
+	wts := make([]int32, deg[n])
+	cursor := make([]int64, n)
+	put := func(from, to NodeID, w int32) {
+		idx := deg[from] + cursor[from]
+		adj[idx] = to
+		wts[idx] = w
+		cursor[from]++
+	}
+	for i := range b.us {
+		put(b.us[i], b.vs[i], b.ws[i])
+		put(b.vs[i], b.us[i], b.ws[i])
+	}
+	outAdj := adj[:0]
+	outW := wts[:0]
+	offsets := make([]int64, n+1)
+	type nw struct {
+		v NodeID
+		w int32
+	}
+	var scratch []nw
+	for v := 0; v < n; v++ {
+		lo, hi := deg[v], deg[v+1]
+		scratch = scratch[:0]
+		for i := lo; i < hi; i++ {
+			scratch = append(scratch, nw{adj[i], wts[i]})
+		}
+		sort.Slice(scratch, func(i, j int) bool {
+			if scratch[i].v != scratch[j].v {
+				return scratch[i].v < scratch[j].v
+			}
+			return scratch[i].w < scratch[j].w
+		})
+		offsets[v] = int64(len(outAdj))
+		var prev NodeID = -1
+		for _, e := range scratch {
+			if e.v != prev {
+				outAdj = append(outAdj, e.v)
+				outW = append(outW, e.w)
+				prev = e.v
+			}
+		}
+	}
+	offsets[n] = int64(len(outAdj))
+	return &WGraph{
+		offsets: offsets,
+		adj:     outAdj[:len(outAdj):len(outAdj)],
+		weights: outW[:len(outW):len(outW)],
+	}
+}
+
+// FromWeightedEdges builds a weighted graph from an explicit edge list;
+// convenience wrapper for tests.
+func FromWeightedEdges(n int, edges [][3]int32) *WGraph {
+	b := NewWBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1], e[2]); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,54 @@
+package io
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: arbitrary input must never panic, and accepted graphs
+// must pass structural validation and round-trip through the writer.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n5 5\n5 6\n")
+	f.Add("")
+	f.Add("999999 1\n")
+	f.Add("-3 4\n")
+	f.Add("0 1 extra fields ignored\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip lost edges: %d vs %d", g2.NumEdges(), g.NumEdges())
+		}
+	})
+}
+
+// FuzzReadMatrixMarket: arbitrary input must never panic.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 2\n2 3\n")
+	f.Add("%%MatrixMarket\n\n1 1 0\n")
+	f.Add("%%MatrixMarket matrix\n2 2 1\n9 9\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadMatrixMarket(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,8 @@
+package par
+
+import "math"
+
+// Thin aliases keep the hot CAS loop in par.go free of a package-qualified
+// call that the inliner occasionally refuses.
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,153 @@
+// Package par contains the small set of parallel-execution helpers the rest
+// of the system is built on: a bounded parallel-for over an index range and
+// a dynamic (work-stealing-ish, chunk-grabbing) variant for irregular work
+// such as BFS-per-source, where per-item cost varies by orders of magnitude.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a worker-count option: values < 1 mean "use
+// GOMAXPROCS".
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// For runs fn(i) for every i in [0, n) using the given number of workers.
+// Iterations are distributed in contiguous static blocks, which is the right
+// schedule for uniform per-item cost (e.g. per-node post-processing).
+// workers < 1 selects GOMAXPROCS. For is a no-op when n <= 0.
+func For(n, workers int, fn func(i int)) {
+	workers = Workers(workers)
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForDynamic runs fn(worker, i) for every i in [0, n) with dynamic
+// chunk-grabbing scheduling: each worker atomically claims the next chunk of
+// the given size. Use for irregular work such as one BFS per sampled source,
+// where a static schedule would leave workers idle behind one giant block.
+// The worker index lets callers keep per-worker scratch (distance arrays,
+// queues) without locking.
+func ForDynamic(n, workers, chunk int, fn func(worker, i int)) {
+	workers = Workers(workers)
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(worker, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// AddFloat64 atomically adds delta to *addr using a CAS loop. Farness
+// accumulators are shared across BFS workers; this is the contention-safe
+// update they use.
+func AddFloat64(addr *uint64, delta float64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		nw := mathFloat64bits(mathFloat64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(addr, old, nw) {
+			return
+		}
+	}
+}
+
+// Float64Slice is a slice of float64 values supporting atomic accumulation.
+// It is stored as raw bits so that AddFloat64's CAS loop applies.
+type Float64Slice struct {
+	bits []uint64
+}
+
+// NewFloat64Slice returns an atomically addressable zeroed slice of length n.
+func NewFloat64Slice(n int) *Float64Slice {
+	return &Float64Slice{bits: make([]uint64, n)}
+}
+
+// Len returns the slice length.
+func (s *Float64Slice) Len() int { return len(s.bits) }
+
+// Add atomically adds delta to element i.
+func (s *Float64Slice) Add(i int, delta float64) { AddFloat64(&s.bits[i], delta) }
+
+// Get loads element i.
+func (s *Float64Slice) Get(i int) float64 {
+	return mathFloat64frombits(atomic.LoadUint64(&s.bits[i]))
+}
+
+// Snapshot copies the current values into a plain []float64. Only safe to
+// call once all writers are done (it does non-atomic-consistent reads per
+// element, which is fine element-wise).
+func (s *Float64Slice) Snapshot() []float64 {
+	out := make([]float64, len(s.bits))
+	for i := range s.bits {
+		out[i] = s.Get(i)
+	}
+	return out
+}

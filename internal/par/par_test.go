@@ -1,0 +1,91 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0, -1} {
+		n := 101
+		hits := make([]int32, n)
+		For(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	For(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("For should not call fn for n <= 0")
+	}
+}
+
+func TestForDynamicCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		for _, chunk := range []int{1, 4, 100} {
+			n := 57
+			hits := make([]int32, n)
+			ForDynamic(n, workers, chunk, func(_, i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d chunk=%d: index %d hit %d times", workers, chunk, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForDynamicWorkerIndexInRange(t *testing.T) {
+	workers := 4
+	var bad atomic.Bool
+	ForDynamic(200, workers, 2, func(w, _ int) {
+		if w < 0 || w >= workers {
+			bad.Store(true)
+		}
+	})
+	if bad.Load() {
+		t.Fatal("worker index out of range")
+	}
+}
+
+func TestWorkersNormalisation(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("explicit worker count should pass through")
+	}
+	if Workers(0) < 1 || Workers(-2) < 1 {
+		t.Error("non-positive should map to at least 1")
+	}
+}
+
+func TestFloat64SliceConcurrentAdds(t *testing.T) {
+	s := NewFloat64Slice(4)
+	const per = 1000
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i := 0; i < per; i++ {
+				s.Add(i%4, 0.5)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	snap := s.Snapshot()
+	for i, v := range snap {
+		if v != 4*per/4*0.5 {
+			t.Errorf("slot %d = %v, want %v", i, v, 4*per/4*0.5)
+		}
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+}

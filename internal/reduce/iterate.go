@@ -1,0 +1,155 @@
+package reduce
+
+import (
+	"repro/internal/chains"
+	"repro/internal/graph"
+	"repro/internal/redundant"
+)
+
+// RunIterative executes the Algorithm 4 pipeline and then keeps iterating
+// the chain and redundant stages on the weighted reduced graph until a
+// fixpoint: each removal round can expose new degree-≤2 runs (e.g. an
+// anchor whose dangling tails are gone) and new redundant neighbourhoods
+// that the paper's single pass leaves in place. Twins are detected once, on
+// the original simple graph, exactly as in Run.
+//
+// maxRounds caps the extra rounds (0 means no cap); real graphs converge
+// in 2–4.
+func RunIterative(g *graph.Graph, opts Options, maxRounds int) (*Reduction, error) {
+	red, err := Run(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.Chains && !opts.Redundant {
+		return red, nil
+	}
+	for round := 0; maxRounds == 0 || round < maxRounds; round++ {
+		removed := 0
+		if opts.Chains {
+			removed += contractWeightedChains(red)
+		}
+		if opts.Redundant {
+			removed += removeRedundantRound(red)
+		}
+		red.Stats.ExtraRounds = round + 1
+		if removed == 0 {
+			break
+		}
+	}
+	return red, nil
+}
+
+// contractWeightedChains runs one weighted chain round over red.G,
+// appending events and rebuilding the reduced graph. Returns the number of
+// removed nodes.
+func contractWeightedChains(red *Reduction) int {
+	wch := chains.WFind(red.G)
+	if wch.WholeGraph || wch.Removed == 0 {
+		return 0
+	}
+	cur := red.G
+	keep := make([]bool, cur.NumNodes())
+	for i := range keep {
+		keep[i] = true
+	}
+	for ci := range wch.Chains {
+		c := &wch.Chains[ci]
+		interior := make([]graph.NodeID, len(c.Interior))
+		for i, v := range c.Interior {
+			keep[v] = false
+			interior[i] = red.ToOld[v]
+		}
+		v := graph.NodeID(-1)
+		if c.V >= 0 {
+			v = red.ToOld[c.V]
+		}
+		red.Events = append(red.Events, &ChainEvent{
+			U:        red.ToOld[c.U],
+			V:        v,
+			Interior: interior,
+			Kind:     c.Type,
+			Offsets:  append([]int32(nil), c.Offsets...),
+			Total:    c.Total,
+		})
+		red.Stats.ChainNodes += len(c.Interior)
+		red.Stats.NumChains++
+	}
+	// Rebuild: kept-kept edges plus contracted parallels.
+	var kept []graph.NodeID
+	toNewLocal := make([]graph.NodeID, cur.NumNodes())
+	for i := range toNewLocal {
+		toNewLocal[i] = -1
+	}
+	for v := 0; v < cur.NumNodes(); v++ {
+		if keep[v] {
+			toNewLocal[v] = graph.NodeID(len(kept))
+			kept = append(kept, graph.NodeID(v))
+		}
+	}
+	b := graph.NewWBuilder(len(kept))
+	cur.Edges(func(u, v graph.NodeID, w int32) {
+		if keep[u] && keep[v] {
+			_ = b.AddEdge(toNewLocal[u], toNewLocal[v], w)
+		}
+	})
+	for ci := range wch.Chains {
+		c := &wch.Chains[ci]
+		if c.Type == chains.Parallel && c.U != c.V {
+			_ = b.AddEdge(toNewLocal[c.U], toNewLocal[c.V], c.Total)
+		}
+	}
+	newToOld := make([]graph.NodeID, len(kept))
+	for i, v := range kept {
+		newToOld[i] = red.ToOld[v]
+	}
+	red.G = b.Build()
+	red.ToOld = newToOld
+	red.rebuildToNew()
+	return wch.Removed
+}
+
+// removeRedundantRound runs one redundant-node round over red.G. Returns
+// the number of removed nodes.
+func removeRedundantRound(red *Reduction) int {
+	rn := redundant.Find(red.G, nil)
+	if len(rn.Nodes) == 0 {
+		return 0
+	}
+	keep := make([]bool, red.G.NumNodes())
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := range rn.Nodes {
+		nd := &rn.Nodes[i]
+		keep[nd.V] = false
+		nbrs := make([]graph.NodeID, len(nd.Nbrs))
+		for j, x := range nd.Nbrs {
+			nbrs[j] = red.ToOld[x]
+		}
+		red.Events = append(red.Events, &RedundantEvent{
+			V:       red.ToOld[nd.V],
+			Nbrs:    nbrs,
+			Weights: append([]int32(nil), nd.Weights...),
+		})
+	}
+	red.Stats.RedundantNodes += len(rn.Nodes)
+	sub, toOld, _ := graph.WSubgraph(red.G, keep)
+	newToOld := make([]graph.NodeID, len(toOld))
+	for i, old := range toOld {
+		newToOld[i] = red.ToOld[old]
+	}
+	red.G = sub
+	red.ToOld = newToOld
+	red.rebuildToNew()
+	return len(rn.Nodes)
+}
+
+// rebuildToNew refreshes the inverse map after a round changed ToOld.
+func (r *Reduction) rebuildToNew() {
+	for i := range r.ToNew {
+		r.ToNew[i] = -1
+	}
+	for newID, old := range r.ToOld {
+		r.ToNew[old] = graph.NodeID(newID)
+	}
+}

@@ -1,0 +1,433 @@
+// Package reduce orchestrates the BRICS reduction pipeline of the paper's
+// Algorithm 4: identical-node removal (I), chain contraction (C) and
+// redundant-node removal (R), in that order, producing a weighted reduced
+// graph plus the bookkeeping needed to recover every removed node's
+// distance from any traversal source in O(1) (the paper's Algorithms 2
+// and 3, run as a post-processing "extension" step per source).
+//
+// All bookkeeping is kept in *original* node ids. The removal log is
+// replayed in reverse removal order by Extend, which guarantees that the
+// anchors an event depends on (nodes that were still alive when the event's
+// nodes were removed) already carry distances: an anchor is either kept —
+// its distance comes from the traversal — or was removed by a later event.
+package reduce
+
+import (
+	"repro/internal/chains"
+	"repro/internal/graph"
+	"repro/internal/redundant"
+	"repro/internal/twins"
+)
+
+// Options selects which reduction stages run.
+type Options struct {
+	// Twins removes identical nodes (paper Section III-A).
+	Twins bool
+	// Chains contracts degree-≤2 chains (Section III-B).
+	Chains bool
+	// Redundant removes redundant 3/4-degree nodes (Section III-C).
+	Redundant bool
+}
+
+// All enables every stage — the paper's "Cumulative" configuration before
+// the biconnected decomposition.
+func All() Options { return Options{Twins: true, Chains: true, Redundant: true} }
+
+// Stats reports how much each stage removed; Table I's structural columns
+// come from here.
+type Stats struct {
+	// IdenticalNodes is the number of removed twin nodes.
+	IdenticalNodes int
+	// IdenticalChainNodes is the number of interior nodes in Type-4
+	// identical chains (chains with the same endpoints and equal length,
+	// all but one of which are redundant).
+	IdenticalChainNodes int
+	// ChainNodes is the total number of removed chain interior nodes.
+	ChainNodes int
+	// RedundantNodes is the number of removed redundant 3/4-degree nodes.
+	RedundantNodes int
+	// TwinGroups is the number of identical-node groups.
+	TwinGroups int
+	// NumChains is the number of discovered chains.
+	NumChains int
+	// ExtraRounds counts the fixpoint rounds RunIterative performed
+	// beyond the paper's single pass (0 for Run).
+	ExtraRounds int
+}
+
+// Removed returns the total number of removed nodes.
+func (s Stats) Removed() int { return s.IdenticalNodes + s.ChainNodes + s.RedundantNodes }
+
+// Event is one removal record. Extend recovers the distances of the
+// event's removed nodes into dist (indexed by original node id), reading
+// the distances of the event's anchors.
+type Event interface {
+	// Removed lists the original ids this event deleted.
+	Removed() []graph.NodeID
+	// Anchors lists the original ids whose distances Extend reads.
+	Anchors() []graph.NodeID
+	// Extend writes distances for the removed nodes.
+	Extend(dist []int32)
+}
+
+// TwinEvent removes a group of identical nodes, keeping Rep.
+type TwinEvent struct {
+	Rep graph.NodeID
+	// Members are the removed twins (Rep excluded).
+	Members []graph.NodeID
+	// GroupDist is the pairwise distance inside the group: 1 for closed
+	// twins, 2 for open twins.
+	GroupDist int32
+}
+
+// Removed implements Event.
+func (e *TwinEvent) Removed() []graph.NodeID { return e.Members }
+
+// Anchors implements Event.
+func (e *TwinEvent) Anchors() []graph.NodeID { return []graph.NodeID{e.Rep} }
+
+// Extend implements Event: every twin sits exactly where its representative
+// sits — unless the source *is* the representative, in which case the twins
+// are GroupDist away (Fact III.2's equal-farness argument needs exactly this
+// correction for the group's own pairwise distances).
+func (e *TwinEvent) Extend(dist []int32) {
+	d := dist[e.Rep]
+	if d == 0 {
+		d = e.GroupDist
+	}
+	for _, m := range e.Members {
+		dist[m] = d
+	}
+}
+
+// ChainEvent removes the interior of one chain (paper Algorithm 2).
+type ChainEvent struct {
+	// U and V are the anchors in original ids; V is -1 for dangling
+	// (Type-1) chains and equals U for pendant cycles (Type-2).
+	U, V graph.NodeID
+	// Interior lists the removed nodes in path order from U;
+	// Interior[i] is i+1 unit steps from U unless Offsets is set.
+	Interior []graph.NodeID
+	// Kind is the chain classification.
+	Kind chains.Type
+	// Identical marks Type-4 members (reporting only).
+	Identical bool
+	// Offsets (weighted chains from the iterative pipeline only) gives
+	// Interior[i]'s weighted distance from U; Total is the chain's full
+	// weighted length. Nil means unit steps.
+	Offsets []int32
+	Total   int32
+}
+
+// Removed implements Event.
+func (e *ChainEvent) Removed() []graph.NodeID { return e.Interior }
+
+// Anchors implements Event.
+func (e *ChainEvent) Anchors() []graph.NodeID {
+	if e.V < 0 || e.V == e.U {
+		return []graph.NodeID{e.U}
+	}
+	return []graph.NodeID{e.U, e.V}
+}
+
+func (e *ChainEvent) chain() chains.Chain {
+	return chains.Chain{U: e.U, V: e.V, Interior: e.Interior, Type: e.Kind}
+}
+
+func (e *ChainEvent) wchain() chains.WChain {
+	return chains.WChain{U: e.U, V: e.V, Interior: e.Interior, Offsets: e.Offsets, Total: e.Total, Type: e.Kind}
+}
+
+// Extend implements Event using the split formula of Algorithm 2 (its
+// weighted generalisation when Offsets is set).
+func (e *ChainEvent) Extend(dist []int32) {
+	du := dist[e.U]
+	var dv int32
+	if e.V >= 0 {
+		dv = dist[e.V]
+	}
+	if e.Offsets != nil {
+		c := e.wchain()
+		for i := range e.Interior {
+			dist[e.Interior[i]] = c.InteriorDistance(du, dv, i)
+		}
+		return
+	}
+	c := e.chain()
+	for i := range e.Interior {
+		dist[e.Interior[i]] = c.InteriorDistance(du, dv, i)
+	}
+}
+
+// SumDistances returns Σ_i d(s, Interior[i]) given anchor distances — O(1)
+// for unit chains, O(ℓ) for weighted ones.
+func (e *ChainEvent) SumDistances(dist []int32) int64 {
+	du := dist[e.U]
+	var dv int32
+	if e.V >= 0 {
+		dv = dist[e.V]
+	}
+	if e.Offsets != nil {
+		c := e.wchain()
+		return c.SumInteriorDistances(du, dv)
+	}
+	c := e.chain()
+	return c.SumInteriorDistances(du, dv)
+}
+
+// RedundantEvent removes one redundant 3/4-degree node (paper Algorithm 3).
+type RedundantEvent struct {
+	V       graph.NodeID
+	Nbrs    []graph.NodeID
+	Weights []int32
+}
+
+// Removed implements Event.
+func (e *RedundantEvent) Removed() []graph.NodeID { return []graph.NodeID{e.V} }
+
+// Anchors implements Event.
+func (e *RedundantEvent) Anchors() []graph.NodeID { return e.Nbrs }
+
+// Extend implements Event.
+func (e *RedundantEvent) Extend(dist []int32) {
+	node := redundant.Node{V: e.V, Nbrs: e.Nbrs, Weights: e.Weights}
+	dist[e.V] = node.Distance(dist)
+}
+
+// Reduction is the result of the pipeline.
+type Reduction struct {
+	// Orig is the input graph.
+	Orig *graph.Graph
+	// G is the reduced weighted graph.
+	G *graph.WGraph
+	// ToOld maps reduced ids to original ids; ToNew is the inverse (-1
+	// for removed originals).
+	ToOld []graph.NodeID
+	ToNew []graph.NodeID
+	// Events is the removal log in removal order.
+	Events []Event
+	// Stats summarises the stages.
+	Stats Stats
+}
+
+// NumRemoved returns the number of removed original nodes.
+func (r *Reduction) NumRemoved() int { return r.Orig.NumNodes() - len(r.ToOld) }
+
+// Run executes the pipeline on the connected simple graph g.
+func Run(g *graph.Graph, opts Options) (*Reduction, error) {
+	n := g.NumNodes()
+	red := &Reduction{Orig: g}
+
+	// Identity maps to start with; curToOld maps current-stage ids to
+	// original ids.
+	curToOld := make([]graph.NodeID, n)
+	for i := range curToOld {
+		curToOld[i] = graph.NodeID(i)
+	}
+
+	// Stage I: identical nodes, on the simple graph.
+	cur := g
+	if opts.Twins {
+		tw := twins.Find(cur)
+		if len(tw.Groups) > 0 {
+			keep := make([]bool, cur.NumNodes())
+			for i := range keep {
+				keep[i] = true
+			}
+			for _, grp := range tw.Groups {
+				members := make([]graph.NodeID, 0, len(grp.Members)-1)
+				for _, m := range grp.Members[1:] {
+					keep[m] = false
+					members = append(members, curToOld[m])
+				}
+				red.Events = append(red.Events, &TwinEvent{
+					Rep:       curToOld[grp.Rep()],
+					Members:   members,
+					GroupDist: grp.Dist(),
+				})
+			}
+			red.Stats.IdenticalNodes = tw.Removed
+			red.Stats.TwinGroups = len(tw.Groups)
+			sub, toOld, _ := graph.Subgraph(cur, keep)
+			newToOld := make([]graph.NodeID, len(toOld))
+			for i, old := range toOld {
+				newToOld[i] = curToOld[old]
+			}
+			cur, curToOld = sub, newToOld
+		}
+	}
+
+	// Stage C: chain contraction, on the (twin-reduced) simple graph.
+	// The contracted result is weighted from here on.
+	var wg *graph.WGraph
+	ch := (*chains.Result)(nil)
+	if opts.Chains {
+		ch = chains.Find(cur)
+		// A graph that is (or became, after twin removal) a pure path or
+		// cycle has no anchor to hang chains from; skip the stage and
+		// leave the degree-≤2 nodes in place. Callers answer the original
+		// pure path/cycle case in closed form before reducing.
+		if ch.WholeGraph {
+			ch = nil
+		}
+	}
+	if ch != nil {
+		red.Stats.NumChains = len(ch.Chains)
+		red.Stats.ChainNodes = ch.Removed
+		identical := classifyIdentical(cur, ch.Chains)
+		keep := make([]bool, cur.NumNodes())
+		for i := range keep {
+			keep[i] = true
+		}
+		for ci := range ch.Chains {
+			c := &ch.Chains[ci]
+			interior := make([]graph.NodeID, len(c.Interior))
+			for i, v := range c.Interior {
+				keep[v] = false
+				interior[i] = curToOld[v]
+			}
+			v := graph.NodeID(-1)
+			if c.V >= 0 {
+				v = curToOld[c.V]
+			}
+			ev := &ChainEvent{
+				U:         curToOld[c.U],
+				V:         v,
+				Interior:  interior,
+				Kind:      c.Type,
+				Identical: identical[ci],
+			}
+			if identical[ci] {
+				red.Stats.IdenticalChainNodes += len(interior)
+			}
+			red.Events = append(red.Events, ev)
+		}
+		// Build the contracted weighted graph over the kept nodes.
+		var kept []graph.NodeID
+		toNewLocal := make([]graph.NodeID, cur.NumNodes())
+		for i := range toNewLocal {
+			toNewLocal[i] = -1
+		}
+		for v := 0; v < cur.NumNodes(); v++ {
+			if keep[v] {
+				toNewLocal[v] = graph.NodeID(len(kept))
+				kept = append(kept, graph.NodeID(v))
+			}
+		}
+		b := graph.NewWBuilder(len(kept))
+		cur.Edges(func(u, v graph.NodeID) {
+			if keep[u] && keep[v] {
+				_ = b.AddEdge(toNewLocal[u], toNewLocal[v], 1)
+			}
+		})
+		for ci := range ch.Chains {
+			c := &ch.Chains[ci]
+			if c.Type == chains.Parallel && c.U != c.V {
+				_ = b.AddEdge(toNewLocal[c.U], toNewLocal[c.V], c.EdgeWeight())
+			}
+		}
+		wg = b.Build()
+		newToOld := make([]graph.NodeID, len(kept))
+		for i, v := range kept {
+			newToOld[i] = curToOld[v]
+		}
+		curToOld = newToOld
+	} else {
+		wg = cur.ToWeighted()
+	}
+
+	// Stage R: redundant 3/4-degree nodes, on the weighted graph.
+	if opts.Redundant {
+		rn := redundant.Find(wg, nil)
+		if len(rn.Nodes) > 0 {
+			red.Stats.RedundantNodes = len(rn.Nodes)
+			keep := make([]bool, wg.NumNodes())
+			for i := range keep {
+				keep[i] = true
+			}
+			for i := range rn.Nodes {
+				nd := &rn.Nodes[i]
+				keep[nd.V] = false
+				nbrs := make([]graph.NodeID, len(nd.Nbrs))
+				for j, x := range nd.Nbrs {
+					nbrs[j] = curToOld[x]
+				}
+				red.Events = append(red.Events, &RedundantEvent{
+					V:       curToOld[nd.V],
+					Nbrs:    nbrs,
+					Weights: append([]int32(nil), nd.Weights...),
+				})
+			}
+			sub, toOld, _ := graph.WSubgraph(wg, keep)
+			newToOld := make([]graph.NodeID, len(toOld))
+			for i, old := range toOld {
+				newToOld[i] = curToOld[old]
+			}
+			wg, curToOld = sub, newToOld
+		}
+	}
+
+	red.G = wg
+	red.ToOld = curToOld
+	red.ToNew = make([]graph.NodeID, n)
+	for i := range red.ToNew {
+		red.ToNew[i] = -1
+	}
+	for newID, old := range curToOld {
+		red.ToNew[old] = graph.NodeID(newID)
+	}
+	return red, nil
+}
+
+// classifyIdentical marks Type-4 chains: Parallel chains sharing both
+// endpoints with another chain of equal length. Only used for reporting —
+// the contraction's min-weight parallel-edge rule removes redundant
+// parallels regardless.
+func classifyIdentical(g *graph.Graph, cs []chains.Chain) []bool {
+	type key struct {
+		a, b graph.NodeID
+		l    int
+	}
+	count := make(map[key]int)
+	mk := func(c *chains.Chain) (key, bool) {
+		if c.Type != chains.Parallel || c.V < 0 || c.U == c.V {
+			return key{}, false
+		}
+		a, b := c.U, c.V
+		if a > b {
+			a, b = b, a
+		}
+		return key{a, b, len(c.Interior)}, true
+	}
+	for i := range cs {
+		if k, ok := mk(&cs[i]); ok {
+			count[k]++
+		}
+	}
+	out := make([]bool, len(cs))
+	for i := range cs {
+		if k, ok := mk(&cs[i]); ok && count[k] >= 2 {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// Scatter copies reduced-graph distances into an original-id distance
+// array, leaving removed entries untouched. Callers usually follow with
+// Extend. distOrig must be pre-filled with -1 (or stale values that Extend
+// and Scatter jointly overwrite — every kept and removed entry is written).
+func (r *Reduction) Scatter(distReduced, distOrig []int32) {
+	for newID, old := range r.ToOld {
+		distOrig[old] = distReduced[newID]
+	}
+}
+
+// Extend replays the removal log in reverse, filling distances for every
+// removed node. distOrig must already hold distances for all kept nodes
+// (see Scatter).
+func (r *Reduction) Extend(distOrig []int32) {
+	for i := len(r.Events) - 1; i >= 0; i-- {
+		r.Events[i].Extend(distOrig)
+	}
+}

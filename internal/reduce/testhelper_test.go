@@ -1,0 +1,10 @@
+package reduce
+
+import (
+	"repro/internal/chains"
+	"repro/internal/graph"
+)
+
+// wfindForTest exposes weighted chain discovery to the tests in this
+// package without importing internal/chains there directly.
+func wfindForTest(g *graph.WGraph) *chains.WResult { return chains.WFind(g) }

@@ -1,0 +1,385 @@
+// Package server exposes the BRICS estimators as a JSON-over-HTTP service
+// (see cmd/bricsd). The server owns one graph; estimation runs are cached
+// per option set and invalidated by dynamic edge updates, which are applied
+// through the exact incremental index.
+//
+// Endpoints:
+//
+//	GET    /healthz                           liveness
+//	GET    /v1/graph                          node/edge counts
+//	POST   /v1/estimate                       {"techniques":"BRIC","fraction":0.2,"seed":1}
+//	GET    /v1/farness/{node}?...             one node's estimate (same query params)
+//	GET    /v1/topk?k=10&...                  verified top-k (exact values)
+//	POST   /v1/edges                          {"u":1,"v":2} insert (exact dynamic update)
+//	DELETE /v1/edges?u=1&v=2                  remove an edge
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/bfs"
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+// Server is the HTTP handler. Create with New; it is safe for concurrent
+// use.
+type Server struct {
+	mu    sync.Mutex
+	ix    *dynamic.Index
+	cache map[string]*core.Result // estimation cache, cleared on mutation
+	mux   *http.ServeMux
+}
+
+// New builds a server over a connected graph.
+func New(g *graph.Graph, workers int) (*Server, error) {
+	ix, err := dynamic.New(g, workers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ix:    ix,
+		cache: make(map[string]*core.Result),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/graph", s.handleGraph)
+	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/v1/farness/", s.handleFarness)
+	s.mux.HandleFunc("/v1/topk", s.handleTopK)
+	s.mux.HandleFunc("/v1/edges", s.handleEdges)
+	s.mux.HandleFunc("/v1/distance", s.handleDistance)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type graphBody struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	g := s.ix.Snapshot()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, graphBody{Nodes: g.NumNodes(), Edges: g.NumEdges()})
+}
+
+// estimateParams are shared by /v1/estimate, /v1/farness and /v1/topk.
+type estimateParams struct {
+	Techniques string  `json:"techniques"`
+	Fraction   float64 `json:"fraction"`
+	Seed       int64   `json:"seed"`
+}
+
+func (p *estimateParams) options() (core.Options, error) {
+	tech, err := ParseTechniques(p.Techniques)
+	if err != nil {
+		return core.Options{}, err
+	}
+	return core.Options{
+		Techniques:     tech,
+		SampleFraction: p.Fraction,
+		Seed:           p.Seed,
+	}, nil
+}
+
+func (p *estimateParams) key() string {
+	return fmt.Sprintf("%s/%g/%d", strings.ToUpper(p.Techniques), p.Fraction, p.Seed)
+}
+
+func paramsFromQuery(q map[string][]string) (estimateParams, error) {
+	p := estimateParams{Techniques: "BRIC", Fraction: 0.2, Seed: 1}
+	if v, ok := q["techniques"]; ok && len(v) > 0 {
+		p.Techniques = v[0]
+	}
+	if v, ok := q["fraction"]; ok && len(v) > 0 {
+		f, err := strconv.ParseFloat(v[0], 64)
+		if err != nil {
+			return p, fmt.Errorf("bad fraction: %v", err)
+		}
+		p.Fraction = f
+	}
+	if v, ok := q["seed"]; ok && len(v) > 0 {
+		sd, err := strconv.ParseInt(v[0], 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad seed: %v", err)
+		}
+		p.Seed = sd
+	}
+	return p, nil
+}
+
+// estimate returns the (possibly cached) estimation result for the params.
+func (s *Server) estimate(p estimateParams) (*core.Result, error) {
+	opts, err := p.options()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if res, ok := s.cache[p.key()]; ok {
+		return res, nil
+	}
+	g := s.ix.Snapshot()
+	res, err := core.Estimate(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[p.key()] = res
+	return res, nil
+}
+
+type estimateBody struct {
+	Nodes       int     `json:"nodes"`
+	Samples     int     `json:"samples"`
+	ReducedTo   int     `json:"reducedTo"`
+	Blocks      int     `json:"blocks"`
+	ExactCount  int     `json:"exactCount"`
+	MeanFarness float64 `json:"meanFarness"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	p := estimateParams{Techniques: "BRIC", Fraction: 0.2, Seed: 1}
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	res, err := s.estimate(p)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	exact := 0
+	var mean float64
+	for i, f := range res.Farness {
+		if res.Exact[i] {
+			exact++
+		}
+		mean += f
+	}
+	if len(res.Farness) > 0 {
+		mean /= float64(len(res.Farness))
+	}
+	writeJSON(w, http.StatusOK, estimateBody{
+		Nodes:       len(res.Farness),
+		Samples:     res.Stats.Samples,
+		ReducedTo:   res.Stats.ReducedNodes,
+		Blocks:      res.Stats.Blocks.Count,
+		ExactCount:  exact,
+		MeanFarness: mean,
+	})
+}
+
+type farnessBody struct {
+	Node      graph.NodeID `json:"node"`
+	Farness   float64      `json:"farness"`
+	Closeness float64      `json:"closeness"`
+	Exact     bool         `json:"exact"`
+}
+
+func (s *Server) handleFarness(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/farness/")
+	id, err := strconv.ParseInt(idStr, 10, 32)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad node id %q", idStr)
+		return
+	}
+	p, err := paramsFromQuery(r.URL.Query())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.estimate(p)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if id < 0 || int(id) >= len(res.Farness) {
+		writeErr(w, http.StatusNotFound, "node %d out of range", id)
+		return
+	}
+	f := res.Farness[id]
+	body := farnessBody{Node: graph.NodeID(id), Farness: f, Exact: res.Exact[id]}
+	if f > 0 {
+		body.Closeness = 1 / f
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+type topkBody struct {
+	Nodes    []graph.NodeID `json:"nodes"`
+	Farness  []float64      `json:"farness"`
+	Verified int            `json:"verified"`
+	Certain  bool           `json:"certain"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	k := 10
+	if v := q.Get("k"); v != "" {
+		kk, err := strconv.Atoi(v)
+		if err != nil || kk <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad k %q", v)
+			return
+		}
+		k = kk
+	}
+	p, err := paramsFromQuery(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts, err := p.options()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	g := s.ix.Snapshot()
+	s.mu.Unlock()
+	res, err := topk.Closeness(g, k, topk.Options{Estimate: opts})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, topkBody{
+		Nodes: res.Nodes, Farness: res.Farness,
+		Verified: res.Verified, Certain: res.Certain,
+	})
+}
+
+type edgeBody struct {
+	U graph.NodeID `json:"u"`
+	V graph.NodeID `json:"v"`
+}
+
+type edgeResult struct {
+	Affected int `json:"affected"`
+	Edges    int `json:"edges"`
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var e edgeBody
+		if err := json.NewDecoder(r.Body).Decode(&e); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+			return
+		}
+		s.mu.Lock()
+		err := s.ix.AddEdge(e.U, e.V)
+		affected := s.ix.UpdatedLast
+		if err == nil {
+			s.cache = make(map[string]*core.Result)
+		}
+		edges := s.ix.Snapshot().NumEdges()
+		s.mu.Unlock()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, edgeResult{Affected: affected, Edges: edges})
+	case http.MethodDelete:
+		q := r.URL.Query()
+		u, err1 := strconv.ParseInt(q.Get("u"), 10, 32)
+		v, err2 := strconv.ParseInt(q.Get("v"), 10, 32)
+		if err1 != nil || err2 != nil {
+			writeErr(w, http.StatusBadRequest, "u and v query params required")
+			return
+		}
+		s.mu.Lock()
+		err := s.ix.RemoveEdge(graph.NodeID(u), graph.NodeID(v))
+		affected := s.ix.UpdatedLast
+		if err == nil {
+			s.cache = make(map[string]*core.Result)
+		}
+		edges := s.ix.Snapshot().NumEdges()
+		s.mu.Unlock()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, edgeResult{Affected: affected, Edges: edges})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "POST or DELETE")
+	}
+}
+
+type distanceBody struct {
+	From     graph.NodeID `json:"from"`
+	To       graph.NodeID `json:"to"`
+	Distance int32        `json:"distance"` // -1 when unreachable
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	from, err1 := strconv.ParseInt(q.Get("from"), 10, 32)
+	to, err2 := strconv.ParseInt(q.Get("to"), 10, 32)
+	if err1 != nil || err2 != nil {
+		writeErr(w, http.StatusBadRequest, "from and to query params required")
+		return
+	}
+	s.mu.Lock()
+	g := s.ix.Snapshot()
+	s.mu.Unlock()
+	n := int64(g.NumNodes())
+	if from < 0 || to < 0 || from >= n || to >= n {
+		writeErr(w, http.StatusNotFound, "node out of range")
+		return
+	}
+	d := bfs.PointToPoint(g, graph.NodeID(from), graph.NodeID(to))
+	writeJSON(w, http.StatusOK, distanceBody{From: graph.NodeID(from), To: graph.NodeID(to), Distance: d})
+}
+
+// ParseTechniques converts a "BRIC" letter string into a technique mask.
+func ParseTechniques(s string) (core.Technique, error) {
+	return core.ParseTechniques(s)
+}

@@ -1,0 +1,270 @@
+// Package stats computes the quality metrics of the paper's evaluation
+// (Section IV-C1): the per-node approximation ratio AR(v) =
+// estimated/actual, the average ratio ("Quality"), error percentages, and
+// speedup ratios, plus distribution summaries used by the experiment
+// harness.
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// AR returns the per-node approximation ratios estimated[i]/actual[i].
+// Nodes with actual == 0 (only possible for a single-node graph) get ratio
+// 1.
+func AR(estimated, actual []float64) []float64 {
+	out := make([]float64, len(estimated))
+	for i := range estimated {
+		if actual[i] == 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = estimated[i] / actual[i]
+	}
+	return out
+}
+
+// Quality is the paper's headline metric: the mean approximation ratio
+// over all nodes. 1.0 is perfect; the paper's plots hover in [0.9, 1.1].
+func Quality(estimated, actual []float64) float64 {
+	if len(estimated) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range estimated {
+		if actual[i] == 0 {
+			s++
+		} else {
+			s += estimated[i] / actual[i]
+		}
+	}
+	return s / float64(len(estimated))
+}
+
+// AvgErrorPercent is the mean |AR−1|·100 — the "average error percentage"
+// of the abstract.
+func AvgErrorPercent(estimated, actual []float64) float64 {
+	if len(estimated) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range estimated {
+		if actual[i] == 0 {
+			continue
+		}
+		s += math.Abs(estimated[i]/actual[i] - 1)
+	}
+	return s / float64(len(estimated)) * 100
+}
+
+// Speedup is baseline time over candidate time (>1 means the candidate is
+// faster), the paper's speedup definition with random sampling as baseline.
+func Speedup(baseline, candidate time.Duration) float64 {
+	if candidate <= 0 {
+		return math.Inf(1)
+	}
+	return float64(baseline) / float64(candidate)
+}
+
+// Summary is a five-number-plus-mean description of a sample.
+type Summary struct {
+	Min, P25, Median, P75, Max, Mean float64
+	N                                int
+}
+
+// Summarize computes a Summary; the input is not modified.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		idx := p * float64(len(s)-1)
+		lo := int(idx)
+		hi := lo + 1
+		if hi >= len(s) {
+			return s[len(s)-1]
+		}
+		frac := idx - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	var mean float64
+	for _, x := range s {
+		mean += x
+	}
+	mean /= float64(len(s))
+	return Summary{
+		Min: s[0], P25: q(0.25), Median: q(0.5), P75: q(0.75), Max: s[len(s)-1],
+		Mean: mean, N: len(s),
+	}
+}
+
+// Pearson returns the Pearson correlation of two equal-length samples —
+// used to compare estimated vs actual farness rankings (Fig. 5-style
+// scatter agreement).
+func Pearson(a, b []float64) float64 {
+	n := len(a)
+	if n == 0 || n != len(b) {
+		return math.NaN()
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(n)
+	mb /= float64(n)
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// TopKOverlap returns |topK(est) ∩ topK(actual)| / k for the k smallest
+// farness values (the most central nodes) — a ranking-quality metric for
+// the top-k use case the paper's related work cites.
+func TopKOverlap(estimated, actual []float64, k int) float64 {
+	if k <= 0 || len(estimated) != len(actual) || len(estimated) == 0 {
+		return math.NaN()
+	}
+	if k > len(estimated) {
+		k = len(estimated)
+	}
+	idx := func(xs []float64) map[int]bool {
+		ord := make([]int, len(xs))
+		for i := range ord {
+			ord[i] = i
+		}
+		sort.Slice(ord, func(i, j int) bool { return xs[ord[i]] < xs[ord[j]] })
+		out := make(map[int]bool, k)
+		for _, i := range ord[:k] {
+			out[i] = true
+		}
+		return out
+	}
+	e := idx(estimated)
+	a := idx(actual)
+	hits := 0
+	for i := range e {
+		if a[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// KendallTau computes the Kendall rank correlation τ-a between two
+// equal-length value series, by merge-sort inversion counting in
+// O(n log n). 1 means identical ranking, −1 reversed. Ranking agreement is
+// the metric that matters when estimated centralities feed a top-k
+// selection.
+func KendallTau(a, b []float64) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return math.NaN()
+	}
+	// Sort indices by a, then count discordant pairs as inversions of b
+	// in that order. Ties are counted as half-discordant (τ-a treats tied
+	// pairs as concordance 0; we approximate by excluding exact ties from
+	// the numerator only when tied in both).
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(i, j int) bool {
+		if a[ord[i]] != a[ord[j]] {
+			return a[ord[i]] < a[ord[j]]
+		}
+		return b[ord[i]] < b[ord[j]]
+	})
+	seq := make([]float64, n)
+	for i, idx := range ord {
+		seq[i] = b[idx]
+	}
+	inv := countInversions(seq)
+	total := float64(n) * float64(n-1) / 2
+	return 1 - 2*float64(inv)/total
+}
+
+func countInversions(xs []float64) int64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	buf := make([]float64, n)
+	var rec func(lo, hi int) int64
+	rec = func(lo, hi int) int64 {
+		if hi-lo < 2 {
+			return 0
+		}
+		mid := (lo + hi) / 2
+		inv := rec(lo, mid) + rec(mid, hi)
+		i, j, k := lo, mid, lo
+		for i < mid && j < hi {
+			if xs[i] <= xs[j] {
+				buf[k] = xs[i]
+				i++
+			} else {
+				buf[k] = xs[j]
+				inv += int64(mid - i)
+				j++
+			}
+			k++
+		}
+		for i < mid {
+			buf[k] = xs[i]
+			i++
+			k++
+		}
+		for j < hi {
+			buf[k] = xs[j]
+			j++
+			k++
+		}
+		copy(xs[lo:hi], buf[lo:hi])
+		return inv
+	}
+	return rec(0, n)
+}
+
+// Histogram bins the sample into `bins` equal-width buckets over
+// [min, max]; returned counts have length bins. Used by the experiment
+// harness to render AR distributions (Fig. 5) as text.
+func Histogram(xs []float64, bins int) (counts []int, min, width float64) {
+	if bins <= 0 || len(xs) == 0 {
+		return nil, 0, 0
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	counts = make([]int, bins)
+	width = (max - min) / float64(bins)
+	if width == 0 {
+		counts[0] = len(xs)
+		return counts, min, width
+	}
+	for _, x := range xs {
+		i := int((x - min) / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	return counts, min, width
+}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestARAndQuality(t *testing.T) {
+	est := []float64{10, 22, 30}
+	act := []float64{10, 20, 30}
+	ar := AR(est, act)
+	want := []float64{1, 1.1, 1}
+	for i := range want {
+		if math.Abs(ar[i]-want[i]) > 1e-12 {
+			t.Errorf("AR[%d] = %v, want %v", i, ar[i], want[i])
+		}
+	}
+	if q := Quality(est, act); math.Abs(q-(1+1.1+1)/3) > 1e-12 {
+		t.Errorf("Quality = %v", q)
+	}
+	if e := AvgErrorPercent(est, act); math.Abs(e-10.0/3) > 1e-9 {
+		t.Errorf("AvgErrorPercent = %v, want %v", e, 10.0/3)
+	}
+}
+
+func TestQualityEdgeCases(t *testing.T) {
+	if !math.IsNaN(Quality(nil, nil)) {
+		t.Error("empty Quality should be NaN")
+	}
+	// actual == 0 counts as ratio 1.
+	if q := Quality([]float64{5}, []float64{0}); q != 1 {
+		t.Errorf("zero-actual quality = %v, want 1", q)
+	}
+	ar := AR([]float64{5}, []float64{0})
+	if ar[0] != 1 {
+		t.Errorf("zero-actual AR = %v, want 1", ar[0])
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(2*time.Second, time.Second); s != 2 {
+		t.Errorf("Speedup = %v, want 2", s)
+	}
+	if !math.IsInf(Speedup(time.Second, 0), 1) {
+		t.Error("zero candidate should give +Inf")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 || s.N != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.P25 != 2 || s.P75 != 4 {
+		t.Errorf("quartiles = %v,%v want 2,4", s.P25, s.P75)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty summary N = %d", empty.N)
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if p := Pearson(a, a); math.Abs(p-1) > 1e-12 {
+		t.Errorf("self correlation = %v", p)
+	}
+	b := []float64{4, 3, 2, 1}
+	if p := Pearson(a, b); math.Abs(p+1) > 1e-12 {
+		t.Errorf("anti correlation = %v", p)
+	}
+	if !math.IsNaN(Pearson(a, []float64{1, 1, 1, 1})) {
+		t.Error("constant series should give NaN")
+	}
+	if !math.IsNaN(Pearson(a, a[:2])) {
+		t.Error("length mismatch should give NaN")
+	}
+}
+
+// Property: Pearson is invariant under positive affine transforms.
+func TestPearsonAffineInvariance(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 3 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		ys := make([]float64, len(xs))
+		varying := false
+		for i := range xs {
+			ys[i] = 2*xs[i] + 7
+			if xs[i] != xs[0] {
+				varying = true
+			}
+		}
+		if !varying {
+			return true
+		}
+		p := Pearson(xs, ys)
+		return math.Abs(p-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	est := []float64{1, 2, 3, 4, 5}
+	act := []float64{1, 2, 3, 4, 5}
+	if o := TopKOverlap(est, act, 2); o != 1 {
+		t.Errorf("identical overlap = %v, want 1", o)
+	}
+	act2 := []float64{5, 4, 3, 2, 1}
+	if o := TopKOverlap(est, act2, 2); o != 0 {
+		t.Errorf("reverse overlap = %v, want 0", o)
+	}
+	if o := TopKOverlap(est, act, 100); o != 1 {
+		t.Errorf("k>n overlap = %v, want 1", o)
+	}
+	if !math.IsNaN(TopKOverlap(est, act, 0)) {
+		t.Error("k=0 should give NaN")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if tau := KendallTau(a, a); math.Abs(tau-1) > 1e-12 {
+		t.Errorf("identical tau = %v", tau)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	if tau := KendallTau(a, rev); math.Abs(tau+1) > 1e-12 {
+		t.Errorf("reversed tau = %v", tau)
+	}
+	// One swapped adjacent pair: 10 pairs, 1 discordant -> 1-2/10 = 0.8.
+	b := []float64{1, 2, 3, 5, 4}
+	if tau := KendallTau(a, b); math.Abs(tau-0.8) > 1e-12 {
+		t.Errorf("one-swap tau = %v, want 0.8", tau)
+	}
+	if !math.IsNaN(KendallTau(a, a[:2])) {
+		t.Error("length mismatch should be NaN")
+	}
+}
+
+// Property: KendallTau matches the O(n^2) definition on random inputs.
+func TestKendallTauBruteForce(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 2 || len(xs) > 40 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		ys := make([]float64, len(xs))
+		for i := range ys {
+			ys[i] = float64((i*7919)%13) - xs[i]
+		}
+		got := KendallTau(xs, ys)
+		// brute force
+		var conc int64
+		n := len(xs)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				da := xs[i] - xs[j]
+				db := ys[i] - ys[j]
+				switch {
+				case da*db > 0 || (da == 0 && db == 0) || (da == 0 && db != 0):
+					// Our tie convention: pairs tied in a count as
+					// concordant when b orders them consistently with the
+					// tie-broken sort; replicate by treating a-ties as
+					// concordant.
+					conc++
+				case da == 0 || db == 0:
+					conc++
+				}
+			}
+		}
+		total := float64(n) * float64(n-1) / 2
+		want := 2*float64(conc)/total - 1
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, min, width := Histogram([]float64{0, 1, 2, 3}, 2)
+	if min != 0 || width != 1.5 {
+		t.Fatalf("min/width = %v/%v", min, width)
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	counts, _, width = Histogram([]float64{5, 5, 5}, 3)
+	if width != 0 || counts[0] != 3 {
+		t.Fatalf("constant histogram = %v width %v", counts, width)
+	}
+	if c, _, _ := Histogram(nil, 4); c != nil {
+		t.Fatal("empty input should return nil")
+	}
+}

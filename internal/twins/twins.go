@@ -1,0 +1,237 @@
+// Package twins implements the "I" of BRICS: detection of identical nodes
+// (Section III-A of the paper). Two nodes are open twins when they have the
+// same open neighbourhood N(u) = N(v) (they are then non-adjacent and at
+// mutual distance exactly 2 through any shared neighbour), and closed twins
+// when N[u] = N[v] (they are then adjacent, mutual distance 1). Either kind
+// of group shares a single farness value, so all but one representative can
+// be removed from the graph, with the representative carrying the group's
+// population weight.
+//
+// Detection hashes each node's sorted adjacency list (the paper: "by hashing
+// the neighbour list of each node, we can find all the groups of identical
+// nodes") and confirms candidate groups by exact list comparison, so hash
+// collisions cannot create false twins.
+package twins
+
+import (
+	"hash/maphash"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Kind distinguishes the two twin relations.
+type Kind uint8
+
+const (
+	// Open marks groups with equal open neighbourhoods; members are
+	// pairwise non-adjacent at distance 2.
+	Open Kind = iota
+	// Closed marks groups with equal closed neighbourhoods; members are
+	// pairwise adjacent at distance 1.
+	Closed
+)
+
+// String returns "open" or "closed".
+func (k Kind) String() string {
+	if k == Closed {
+		return "closed"
+	}
+	return "open"
+}
+
+// Group is one set of mutually identical nodes. Members are sorted; the
+// first member is the representative that stays in the reduced graph.
+type Group struct {
+	Members []graph.NodeID
+	Kind    Kind
+}
+
+// Rep returns the group's representative (its smallest member).
+func (g *Group) Rep() graph.NodeID { return g.Members[0] }
+
+// Dist returns the pairwise distance between any two members of the group:
+// 1 for closed twins, 2 for open twins.
+func (g *Group) Dist() int32 {
+	if g.Kind == Closed {
+		return 1
+	}
+	return 2
+}
+
+// Result of twin detection over a graph.
+type Result struct {
+	// Groups lists every twin group with at least two members.
+	Groups []Group
+	// RepOf maps each node to its representative: itself for nodes that
+	// stay, the group representative for removed twins.
+	RepOf []graph.NodeID
+	// GroupOf maps each node to its index in Groups, or -1.
+	GroupOf []int32
+	// Removed is the number of nodes a reduction pass may delete
+	// (Σ (len(group)-1)).
+	Removed int
+}
+
+// IsRemoved reports whether node v is a non-representative twin.
+func (r *Result) IsRemoved(v graph.NodeID) bool { return r.RepOf[v] != v }
+
+var seed = maphash.MakeSeed()
+
+func hashList(nbrs []graph.NodeID, extra graph.NodeID) uint64 {
+	var h maphash.Hash
+	h.SetSeed(seed)
+	var buf [4]byte
+	write := func(v graph.NodeID) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		_, _ = h.Write(buf[:])
+	}
+	// Adjacency is sorted; fold extra (the node itself, for closed
+	// neighbourhoods) into its sorted position so equal closed
+	// neighbourhoods hash equally.
+	if extra < 0 {
+		for _, v := range nbrs {
+			write(v)
+		}
+	} else {
+		placed := false
+		for _, v := range nbrs {
+			if !placed && extra < v {
+				write(extra)
+				placed = true
+			}
+			write(v)
+		}
+		if !placed {
+			write(extra)
+		}
+	}
+	return h.Sum64()
+}
+
+func sameOpen(g *graph.Graph, u, v graph.NodeID) bool {
+	a, b := g.Neighbors(u), g.Neighbors(v)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameClosed reports N[u] == N[v]. Since adjacency excludes self, this holds
+// iff u∈N(v), v∈N(u) and N(u)\{v} == N(v)\{u}.
+func sameClosed(g *graph.Graph, u, v graph.NodeID) bool {
+	a, b := g.Neighbors(u), g.Neighbors(v)
+	if len(a) != len(b) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		if x == v {
+			i++
+			continue
+		}
+		if y == u {
+			j++
+			continue
+		}
+		if x != y {
+			return false
+		}
+		i++
+		j++
+	}
+	for i < len(a) && a[i] == v {
+		i++
+	}
+	for j < len(b) && b[j] == u {
+		j++
+	}
+	if i != len(a) || j != len(b) {
+		return false
+	}
+	// The skipped entries must actually have been present (adjacency).
+	return g.HasEdge(u, v)
+}
+
+// Find detects all twin groups of g. Nodes of degree 0 are ignored (the
+// pipeline operates on connected graphs where they cannot occur). Each node
+// joins at most one group; open grouping takes precedence, matching the
+// paper's single identical-nodes pass.
+func Find(g *graph.Graph) *Result {
+	n := g.NumNodes()
+	res := &Result{
+		RepOf:   make([]graph.NodeID, n),
+		GroupOf: make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		res.RepOf[v] = graph.NodeID(v)
+		res.GroupOf[v] = -1
+	}
+	assigned := make([]bool, n)
+
+	collect := func(kind Kind) {
+		buckets := make(map[uint64][]graph.NodeID, n)
+		for v := 0; v < n; v++ {
+			if assigned[v] || g.Degree(graph.NodeID(v)) == 0 {
+				continue
+			}
+			var h uint64
+			if kind == Open {
+				h = hashList(g.Neighbors(graph.NodeID(v)), -1)
+			} else {
+				h = hashList(g.Neighbors(graph.NodeID(v)), graph.NodeID(v))
+			}
+			buckets[h] = append(buckets[h], graph.NodeID(v))
+		}
+		for _, cand := range buckets {
+			if len(cand) < 2 {
+				continue
+			}
+			sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+			used := make([]bool, len(cand))
+			for i := 0; i < len(cand); i++ {
+				if used[i] || assigned[cand[i]] {
+					continue
+				}
+				members := []graph.NodeID{cand[i]}
+				for j := i + 1; j < len(cand); j++ {
+					if used[j] || assigned[cand[j]] {
+						continue
+					}
+					var eq bool
+					if kind == Open {
+						eq = sameOpen(g, cand[i], cand[j])
+					} else {
+						eq = sameClosed(g, cand[i], cand[j])
+					}
+					if eq {
+						members = append(members, cand[j])
+						used[j] = true
+					}
+				}
+				if len(members) >= 2 {
+					gi := int32(len(res.Groups))
+					res.Groups = append(res.Groups, Group{Members: members, Kind: kind})
+					for _, m := range members {
+						assigned[m] = true
+						res.GroupOf[m] = gi
+						res.RepOf[m] = members[0]
+					}
+					res.Removed += len(members) - 1
+				}
+			}
+		}
+	}
+	collect(Open)
+	collect(Closed)
+	return res
+}

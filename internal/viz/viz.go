@@ -1,0 +1,117 @@
+// Package viz renders the experiment results as text figures — horizontal
+// bar charts and histograms — so cmd/experiments can show the *shape* of
+// the paper's Figs. 4–9, not just tables.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	// Note is appended after the value (e.g. a quality annotation, the
+	// way the paper prints speedups on top of its histogram bars).
+	Note string
+}
+
+// BarChart writes a horizontal bar chart. Values must be non-negative;
+// bars scale to width characters at the maximum value.
+func BarChart(w io.Writer, title string, bars []Bar, width int) {
+	if width <= 0 {
+		width = 40
+	}
+	fmt.Fprintln(w, title)
+	if len(bars) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, b := range bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	for _, b := range bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(math.Round(b.Value / maxVal * float64(width)))
+		}
+		if n < 0 {
+			n = 0
+		}
+		bar := strings.Repeat("█", n)
+		if n == 0 && b.Value > 0 {
+			bar = "▏"
+		}
+		note := ""
+		if b.Note != "" {
+			note = "  " + b.Note
+		}
+		fmt.Fprintf(w, "  %-*s %8.2f %s%s\n", maxLabel, b.Label, b.Value, bar, note)
+	}
+}
+
+// Histogram renders counts (as produced by stats.Histogram) with bucket
+// ranges.
+func Histogram(w io.Writer, title string, counts []int, min, width float64, barWidth int) {
+	if barWidth <= 0 {
+		barWidth = 40
+	}
+	fmt.Fprintln(w, title)
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range counts {
+		lo := min + float64(i)*width
+		hi := lo + width
+		n := 0
+		if maxC > 0 {
+			n = int(math.Round(float64(c) / float64(maxC) * float64(barWidth)))
+		}
+		fmt.Fprintf(w, "  [%8.4f, %8.4f) %7d %s\n", lo, hi, c, strings.Repeat("█", n))
+	}
+}
+
+// Sparkline returns a compact one-line sparkline of the values.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ticks := []rune("▁▂▃▄▅▆▇█")
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(ticks)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ticks) {
+			idx = len(ticks) - 1
+		}
+		sb.WriteRune(ticks[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,79 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart(&buf, "title", []Bar{
+		{Label: "a", Value: 2, Note: "q=1.0"},
+		{Label: "bb", Value: 1},
+		{Label: "c", Value: 0},
+	}, 10)
+	out := buf.String()
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// The max bar uses the full width; half value uses half.
+	if strings.Count(lines[1], "█") != 10 {
+		t.Errorf("max bar width = %d, want 10 (%q)", strings.Count(lines[1], "█"), lines[1])
+	}
+	if strings.Count(lines[2], "█") != 5 {
+		t.Errorf("half bar width = %d, want 5", strings.Count(lines[2], "█"))
+	}
+	if strings.Count(lines[3], "█") != 0 {
+		t.Errorf("zero bar should be empty")
+	}
+	if !strings.Contains(lines[1], "q=1.0") {
+		t.Error("missing note")
+	}
+}
+
+func TestBarChartEmptyAndTiny(t *testing.T) {
+	var buf bytes.Buffer
+	BarChart(&buf, "t", nil, 0)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty chart marker missing")
+	}
+	buf.Reset()
+	// A positive value that rounds to zero width still shows a sliver.
+	BarChart(&buf, "t", []Bar{{Label: "x", Value: 0.001}, {Label: "y", Value: 100}}, 10)
+	if !strings.Contains(buf.String(), "▏") {
+		t.Error("sliver marker missing for tiny value")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	Histogram(&buf, "h", []int{1, 3, 0}, 0.9, 0.1, 12)
+	out := buf.String()
+	if !strings.Contains(out, "h") || strings.Count(out, "\n") != 4 {
+		t.Fatalf("histogram output: %q", out)
+	}
+	if !strings.Contains(out, "[  0.9000,   1.0000)") {
+		t.Errorf("bucket labels wrong: %q", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline runes = %d", len([]rune(s)))
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty input should return empty string")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series should render minimum ticks: %q", flat)
+		}
+	}
+}
