@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test vet bench experiments fuzz cover
+.PHONY: build test vet check bench experiments fuzz cover
 
 build:
 	go build ./...
@@ -10,6 +10,13 @@ vet:
 
 test:
 	go test ./...
+
+# The CI gate: static checks plus the full test suite under the race
+# detector (the batched traversal driver and every estimator fan-out must
+# stay race-clean).
+check:
+	go vet ./...
+	go test -race ./...
 
 # Benchmarks: one per paper table/figure plus kernel/ablation benches.
 bench:

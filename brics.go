@@ -109,6 +109,20 @@ const (
 	EstimatorPaper = core.EstimatorPaper
 )
 
+// TraversalMode selects the traversal engine used for sampled sources.
+type TraversalMode = core.TraversalMode
+
+// Traversal modes. TraversalAuto batches sources into 64-wide bit-parallel
+// multi-source sweeps whenever at least 8 of them share a component or
+// biconnected block; TraversalPerSource and TraversalBatched force either
+// engine. Both engines produce identical farness values for the same seed —
+// batching only changes the wall-clock.
+const (
+	TraversalAuto      = core.TraversalAuto
+	TraversalPerSource = core.TraversalPerSource
+	TraversalBatched   = core.TraversalBatched
+)
+
 // Options configures Estimate; the zero value runs pure sampling at the
 // paper's default 20% fraction.
 type Options = core.Options
@@ -129,9 +143,17 @@ func Estimate(g *Graph, opts Options) (*Result, error) { return core.Estimate(g,
 func ExactFarness(g *Graph, workers int) []float64 { return core.ExactFarness(g, workers) }
 
 // RandomSampling is the baseline estimator (the paper's Algorithm 1):
-// uniform sources on the unreduced graph.
+// uniform sources on the unreduced graph, traversal engine chosen
+// automatically.
 func RandomSampling(g *Graph, fraction float64, workers int, seed int64) *Result {
 	return core.RandomSampling(g, fraction, workers, seed)
+}
+
+// RandomSamplingMode is RandomSampling with an explicit traversal engine
+// (see TraversalMode); useful for benchmarking the engines against each
+// other.
+func RandomSamplingMode(g *Graph, fraction float64, workers int, seed int64, mode TraversalMode) *Result {
+	return core.RandomSamplingMode(g, fraction, workers, seed, mode)
 }
 
 // Closeness converts farness values to closeness centralities 1/farness

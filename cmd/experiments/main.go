@@ -6,8 +6,8 @@
 //	experiments [-scale 1.0] [-workers N] [-seed S] [-only table1,fig4a,...]
 //	experiments -list
 //
-// Experiments: table1, fig4a, fig4b, fig5, fig6, fig7, fig8, fig9
-// (default: all, in order). See EXPERIMENTS.md for the recorded
+// Experiments: table1, fig4a, fig4b, fig5, fig6, fig7, fig8, fig9,
+// traversal (default: all, in order). See EXPERIMENTS.md for the recorded
 // paper-vs-measured comparison.
 package main
 
@@ -27,7 +27,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default stand-in sizes)")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		seed    = flag.Int64("seed", 1, "sampling seed")
-		only    = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,ablations,sweep")
+		only    = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,traversal,ablations,sweep")
 		charts  = flag.Bool("charts", false, "render text bar charts in addition to the tables")
 		list    = flag.Bool("list", false, "list datasets and exit")
 	)
@@ -112,6 +112,12 @@ func main() {
 			experiments.FprintSweep(os.Stdout, class, pts)
 			fmt.Println()
 		}
+	}
+	if run("traversal") {
+		rows, err := experiments.TraversalBench(cfg, 0.2)
+		check(err)
+		experiments.FprintTraversal(os.Stdout, 0.2, rows)
+		fmt.Println()
 	}
 	if run("ablations") {
 		// Beyond the paper: estimator/propagation/fixpoint comparisons.

@@ -1,0 +1,104 @@
+package bfs
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// BatchHandler consumes one completed multi-source batch. base is the index
+// of batch[0] in the driver's source list, batch the ≤64 sources of this
+// sweep, and rows[lane][v] the distance from batch[lane] to v (Unreached
+// where unreachable). Handlers run concurrently from up to `workers`
+// goroutines — one invocation per batch, identified by a stable worker
+// index for callers that keep their own per-worker state. rows alias the
+// worker's scratch and are only valid for the duration of the call.
+type BatchHandler func(worker, base int, batch []graph.NodeID, rows [][]int32)
+
+// batchScratch is the per-worker reusable state of the batch drivers: one
+// multi-source scratch plus a 64-row distance slab, allocated once per
+// worker and reused for every batch the worker claims.
+type batchScratch struct {
+	ms   *MSScratch
+	slab []int32
+	rows [][]int32
+}
+
+func newBatchScratch(n int, maxWeight int32) *batchScratch {
+	b := &batchScratch{
+		ms:   NewMSScratch(n, maxWeight),
+		slab: make([]int32, MSBFSWidth*n),
+		rows: make([][]int32, MSBFSWidth),
+	}
+	for i := range b.rows {
+		b.rows[i] = b.slab[i*n : (i+1)*n : (i+1)*n]
+	}
+	return b
+}
+
+// numBatches returns how many ≤64-wide batches k sources split into.
+func numBatches(k int) int { return (k + MSBFSWidth - 1) / MSBFSWidth }
+
+// runBatches is the shared fan-out: split sources into ≤64-wide batches,
+// hand batches to workers with dynamic scheduling (batch costs vary with
+// how much the lanes' frontiers overlap), and run sweep+handle per batch
+// on the worker's own scratch.
+func runBatches(n int, sources []graph.NodeID, workers int, maxWeight int32,
+	sweep func(s *batchScratch, batch []graph.NodeID, rows [][]int32),
+	handle BatchHandler) {
+	if len(sources) == 0 {
+		return
+	}
+	nb := numBatches(len(sources))
+	workers = par.Workers(workers)
+	if workers > nb {
+		workers = nb
+	}
+	scratch := make([]*batchScratch, workers)
+	for i := range scratch {
+		scratch[i] = newBatchScratch(n, maxWeight)
+	}
+	par.ForDynamic(nb, workers, 1, func(worker, bi int) {
+		base := bi * MSBFSWidth
+		hi := base + MSBFSWidth
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		batch := sources[base:hi]
+		s := scratch[worker]
+		rows := s.rows[:len(batch)]
+		sweep(s, batch, rows)
+		handle(worker, base, batch, rows)
+	})
+}
+
+// RunBatches traverses the unweighted graph g from every source using
+// bit-parallel 64-wide multi-source sweeps fanned out across a worker
+// pool. Per-worker scratch (lane-mask arrays, frontier buffers and the
+// distance slab) is allocated once and reused across batches. This is the
+// batched engine behind the estimators' TraversalBatched mode.
+func RunBatches(g *graph.Graph, sources []graph.NodeID, workers int, handle BatchHandler) {
+	n := g.NumNodes()
+	runBatches(n, sources, workers, 1, func(s *batchScratch, batch []graph.NodeID, rows [][]int32) {
+		for lane := range batch {
+			Fill(rows[lane])
+		}
+		MultiSourceInto(g, batch, s.ms, func(v graph.NodeID, lane int, d int32) {
+			rows[lane][v] = d
+		})
+	}, handle)
+}
+
+// RunBatchesW is RunBatches over an integer-weighted graph (the reduced
+// graphs chain contraction produces). Kernel selection follows
+// MultiSourceWRows: level-synchronous sweeps when all weights are 1, the
+// lane-masked Dial when the maximum weight is bucketable, and a per-source
+// Dial fallback beyond MSMaxBucketWeight — the handler sees identical
+// batch/rows shapes either way.
+func RunBatchesW(g *graph.WGraph, sources []graph.NodeID, workers int, handle BatchHandler) {
+	n := g.NumNodes()
+	unweighted := g.Unweighted()
+	maxW := g.MaxWeight()
+	runBatches(n, sources, workers, maxW, func(s *batchScratch, batch []graph.NodeID, rows [][]int32) {
+		MultiSourceWRows(g, unweighted, batch, s.ms, rows)
+	}, handle)
+}

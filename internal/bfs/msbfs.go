@@ -4,11 +4,69 @@ import (
 	"math/bits"
 
 	"repro/internal/graph"
+	"repro/internal/queue"
 )
 
 // MSBFSWidth is the number of sources one multi-source sweep carries — one
 // bit lane per source.
 const MSBFSWidth = 64
+
+// MSScratch bundles the reusable state of the multi-source kernels so that
+// batch drivers can run many sweeps without reallocating: the seen/cur/next
+// lane-mask arrays and frontier buffers of the unweighted kernel, and the
+// bucket ring of the weighted one. A scratch is sized for a node count and a
+// maximum edge weight at construction and must not be shared between
+// concurrent sweeps; the batch drivers keep one per worker.
+type MSScratch struct {
+	seen, cur, next []uint64
+	frontier        []graph.NodeID
+	touched         []graph.NodeID
+	// Weighted (masked-Dial) state; allocated lazily on first weighted use.
+	buckets    [][]msEntry
+	pend       []uint64
+	levelNodes []graph.NodeID
+	// Fallback per-source Dial queue for weights beyond the bucketable
+	// range; allocated lazily, regrown when a wider graph shows up.
+	fb     *queue.Bucket
+	fbMaxW int32
+}
+
+// msEntry is one pending bucket-queue item: the lanes in mask may reach v at
+// the bucket's distance.
+type msEntry struct {
+	v    graph.NodeID
+	mask uint64
+}
+
+// NewMSScratch allocates multi-source scratch for n-node graphs whose edge
+// weights do not exceed maxWeight (pass 1 for unweighted use).
+func NewMSScratch(n int, maxWeight int32) *MSScratch {
+	if maxWeight < 1 {
+		maxWeight = 1
+	}
+	return &MSScratch{
+		seen:     make([]uint64, n),
+		cur:      make([]uint64, n),
+		next:     make([]uint64, n),
+		frontier: make([]graph.NodeID, 0, n),
+		touched:  make([]graph.NodeID, 0, n),
+		buckets:  make([][]msEntry, int(maxWeight)+1),
+	}
+}
+
+// reset clears the lane-mask arrays for a fresh sweep over n nodes, growing
+// the scratch if the graph is larger than any seen before.
+func (s *MSScratch) reset(n int) {
+	if len(s.seen) < n {
+		s.seen = make([]uint64, n)
+		s.cur = make([]uint64, n)
+		s.next = make([]uint64, n)
+		return
+	}
+	clear(s.seen[:n])
+	clear(s.cur[:n])
+	clear(s.next[:n])
+}
 
 // MultiSource runs a bit-parallel breadth-first search from up to 64
 // sources simultaneously (the "more the merrier" technique: one uint64 per
@@ -21,8 +79,14 @@ const MSBFSWidth = 64
 // the number of edge scans by up to 64 on overlapping frontiers.
 //
 // The kernel is sequential by design; callers parallelise across batches
-// (see MultiSourceFarness).
+// (see RunBatches and MultiSourceFarness).
 func MultiSource(g *graph.Graph, sources []graph.NodeID, visit func(v graph.NodeID, lane int, d int32)) {
+	MultiSourceInto(g, sources, NewMSScratch(g.NumNodes(), 1), visit)
+}
+
+// MultiSourceInto is MultiSource with caller-provided scratch, the form the
+// batch drivers use to avoid per-batch allocation.
+func MultiSourceInto(g *graph.Graph, sources []graph.NodeID, s *MSScratch, visit func(v graph.NodeID, lane int, d int32)) {
 	if len(sources) == 0 {
 		return
 	}
@@ -30,39 +94,23 @@ func MultiSource(g *graph.Graph, sources []graph.NodeID, visit func(v graph.Node
 		panic("bfs: MultiSource supports at most 64 sources per batch")
 	}
 	n := g.NumNodes()
-	seen := make([]uint64, n)
-	next := make([]uint64, n)
-	frontier := make([]graph.NodeID, 0, n)
-	for lane, s := range sources {
-		bit := uint64(1) << uint(lane)
-		if seen[s]&bit == 0 {
-			visit(s, lane, 0)
-		} else {
-			// Duplicate source node: its other lane(s) still need the
-			// zero-distance visit.
-			visit(s, lane, 0)
+	s.reset(n)
+	seen, cur, next := s.seen, s.cur, s.next
+	frontier := s.frontier[:0]
+	for lane, src := range sources {
+		// Duplicate source nodes share one frontier slot (their lanes ride
+		// the same mask) but each lane still gets its zero-distance visit.
+		visit(src, lane, 0)
+		if seen[src] == 0 {
+			frontier = append(frontier, src)
 		}
-		seen[s] |= bit
+		seen[src] |= uint64(1) << uint(lane)
 	}
-	// Deduplicate the initial frontier.
-	for _, s := range sources {
-		found := false
-		for _, f := range frontier {
-			if f == s {
-				found = true
-				break
-			}
-		}
-		if !found {
-			frontier = append(frontier, s)
-		}
-	}
-	cur := make([]uint64, n)
-	for _, s := range sources {
-		cur[s] = seen[s]
+	for _, src := range sources {
+		cur[src] = seen[src]
 	}
 
-	var touched []graph.NodeID
+	touched := s.touched[:0]
 	for d := int32(1); len(frontier) > 0; d++ {
 		touched = touched[:0]
 		for _, u := range frontier {
@@ -74,13 +122,17 @@ func MultiSource(g *graph.Graph, sources []graph.NodeID, visit func(v graph.Node
 				next[w] |= m
 			}
 		}
-		// Commit the level: new lanes per node, visits, next frontier.
+		// The level is fully scanned: clear the old frontier's lane masks,
+		// then commit the new lanes per touched node, the visits, and the
+		// next frontier.
+		for _, u := range frontier {
+			cur[u] = 0
+		}
 		newFrontier := frontier[:0]
 		for _, w := range touched {
 			nw := next[w] &^ seen[w]
 			next[w] = 0
 			if nw == 0 {
-				cur[w] = 0
 				continue
 			}
 			seen[w] |= nw
@@ -90,12 +142,10 @@ func MultiSource(g *graph.Graph, sources []graph.NodeID, visit func(v graph.Node
 				visit(w, bits.TrailingZeros64(m), d)
 			}
 		}
-		// Clear cur for nodes leaving the frontier.
-		for _, u := range frontier[len(newFrontier):cap(frontier)] {
-			_ = u
-		}
 		frontier = newFrontier
 	}
+	s.frontier = frontier[:0]
+	s.touched = touched[:0]
 }
 
 // MultiSourceFarness computes, for every node, the sum of distances from
@@ -107,13 +157,14 @@ func MultiSourceFarness(g *graph.Graph, sources []graph.NodeID) (acc []int64, fa
 	n := g.NumNodes()
 	acc = make([]int64, n)
 	far = make([]int64, len(sources))
+	s := NewMSScratch(n, 1)
 	for base := 0; base < len(sources); base += MSBFSWidth {
 		hi := base + MSBFSWidth
 		if hi > len(sources) {
 			hi = len(sources)
 		}
 		batch := sources[base:hi]
-		MultiSource(g, batch, func(v graph.NodeID, lane int, d int32) {
+		MultiSourceInto(g, batch, s, func(v graph.NodeID, lane int, d int32) {
 			acc[v] += int64(d)
 			far[base+lane] += int64(d)
 		})

@@ -89,6 +89,12 @@ type Options struct {
 	Seed int64
 	// Estimator selects the extrapolation rule.
 	Estimator EstimatorKind
+	// Traversal selects the traversal engine for sampled sources:
+	// TraversalAuto (default) batches sources into 64-wide bit-parallel
+	// sweeps whenever at least 8 of them share a component/block,
+	// TraversalPerSource and TraversalBatched force either engine. Both
+	// engines produce identical farness values for the same seed.
+	Traversal TraversalMode
 	// DisableExactPropagation turns off the closed-form farness
 	// propagation for twins, dangling chains and pendant cycles
 	// (Facts III.3/III.4 generalised); useful only for ablation.

@@ -201,9 +201,11 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 
 	// Local (per-block) weighted subgraphs.
 	localG := make([]*graph.WGraph, nb)
+	localUnw := make([]bool, nb)
 	maxBlockNodes := 0
 	par.For(nb, opts.Workers, func(b int) {
 		localG[b] = buildBlockGraph(d, int32(b))
+		localUnw[b] = localG[b].Unweighted()
 	})
 	for b := 0; b < nb; b++ {
 		if len(d.BlockNodes[b]) > maxBlockNodes {
@@ -281,14 +283,31 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 		cutRows = make([][]int32, rows)
 	}
 
+	// A task is one traversal unit: a single source (per-source engine) or
+	// a ≤64-wide group of sources sharing a block (batched engine). The
+	// engine choice is per block — Auto batches a block only when enough
+	// of the sample budget landed inside it.
 	type task struct {
-		b   int32
-		src graph.NodeID // reduced id
+		b    int32
+		srcs []graph.NodeID // reduced ids, all in block b
 	}
 	var tasks []task
+	anyBatched := false
 	for b := 0; b < nb; b++ {
-		for _, s := range blockSamples[b] {
-			tasks = append(tasks, task{int32(b), s})
+		ss := blockSamples[b]
+		if opts.Traversal.batched(len(ss)) && len(ss) > 1 {
+			anyBatched = true
+			for base := 0; base < len(ss); base += bfs.MSBFSWidth {
+				hi := base + bfs.MSBFSWidth
+				if hi > len(ss) {
+					hi = len(ss)
+				}
+				tasks = append(tasks, task{int32(b), ss[base:hi]})
+			}
+		} else {
+			for i := range ss {
+				tasks = append(tasks, task{int32(b), ss[i : i+1]})
+			}
 		}
 	}
 	workers := par.Workers(opts.Workers)
@@ -296,17 +315,32 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 	type ws struct {
 		s        *bfs.Scratch
 		distOrig []int32
+		ms       *bfs.MSScratch // batched-engine state, nil when unused
+		rows     [][]int32      // 64-row distance slab over block-local ids
+		views    [][]int32      // rows re-sliced to the current block size
+		locals   []graph.NodeID
 	}
 	scratch := make([]ws, workers)
 	for i := range scratch {
-		scratch[i] = ws{s: bfs.NewScratch(maxBlockNodes, maxW), distOrig: make([]int32, n)}
+		w := ws{s: bfs.NewScratch(maxBlockNodes, maxW), distOrig: make([]int32, n)}
+		if anyBatched {
+			w.ms = bfs.NewMSScratch(maxBlockNodes, maxW)
+			slab := make([]int32, bfs.MSBFSWidth*maxBlockNodes)
+			w.rows = make([][]int32, bfs.MSBFSWidth)
+			for j := range w.rows {
+				w.rows[j] = slab[j*maxBlockNodes : (j+1)*maxBlockNodes]
+			}
+			w.views = make([][]int32, bfs.MSBFSWidth)
+			w.locals = make([]graph.NodeID, bfs.MSBFSWidth)
+		}
+		scratch[i] = w
 	}
 
-	runBlockSource := func(w *ws, b int32, src graph.NodeID) {
+	// extendBlock scatters a block-local distance row to original ids and
+	// replays the block's removal events, exactly as a per-source
+	// traversal would.
+	extendBlock := func(w *ws, b int32, dist []int32) {
 		members := d.BlockNodes[b]
-		lg := localG[b]
-		dist := w.s.Dist[:len(members)]
-		bfs.WDistances(lg, graph.NodeID(localIndex(members, src)), dist, w.s.B)
 		for j, m := range members {
 			w.distOrig[red.ToOld[m]] = dist[j]
 		}
@@ -315,15 +349,21 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 			red.Events[evs[i]].Extend(w.distOrig)
 		}
 	}
-
-	par.ForDynamic(len(tasks), workers, 1, func(worker, ti int) {
-		w := &scratch[worker]
-		t := tasks[ti]
-		b := t.b
-		runBlockSource(w, b, t.src)
+	runBlockSource := func(w *ws, b int32, src graph.NodeID) {
 		members := d.BlockNodes[b]
-		srcAssigned := homeOf[t.src] == b
-		srcCut := tree.CutIndex[t.src]
+		dist := w.s.Dist[:len(members)]
+		bfs.WDistances(localG[b], graph.NodeID(localIndex(members, src)), dist, w.s.B)
+		extendBlock(w, b, dist)
+	}
+
+	// accumulateSource consumes one source's block-local distance row:
+	// extend to removed nodes, then feed every accumulator. Shared by both
+	// engines, so their farness outputs are bit-identical.
+	accumulateSource := func(w *ws, b int32, src graph.NodeID, dist []int32) {
+		extendBlock(w, b, dist)
+		members := d.BlockNodes[b]
+		srcAssigned := homeOf[src] == b
+		srcCut := tree.CutIndex[src]
 		srcIsRand := srcCut < 0
 		var row []int32
 		if useCutCache && srcCut >= 0 {
@@ -361,7 +401,7 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 			}
 		}
 		if srcAssigned {
-			atomic.StoreInt64(&exactIn[red.ToOld[t.src]], inSum)
+			atomic.StoreInt64(&exactIn[red.ToOld[src]], inSum)
 			atomic.AddInt64(&aS2S[b], toSamples)
 			atomic.AddInt64(&aS2N[b], inSum-toSamples)
 		}
@@ -369,11 +409,38 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 			li := tree.CutPos(b, srcCut)
 			sumDist[b][li] = inSum
 			for lj := range tree.BlockCuts[b] {
-				cutDist[b][li][lj] = dist0(w.s.Dist, localCutPos[b][lj])
+				cutDist[b][li][lj] = dist[localCutPos[b][lj]]
 			}
 			if row != nil {
 				cutRows[int(cutRowBase[b])+li] = row
 			}
+		}
+	}
+
+	par.ForDynamic(len(tasks), workers, 1, func(worker, ti int) {
+		w := &scratch[worker]
+		t := tasks[ti]
+		members := d.BlockNodes[t.b]
+		if len(t.srcs) == 1 {
+			src := t.srcs[0]
+			dist := w.s.Dist[:len(members)]
+			bfs.WDistances(localG[t.b], graph.NodeID(localIndex(members, src)), dist, w.s.B)
+			accumulateSource(w, t.b, src, dist)
+			return
+		}
+		// Batched: one bit-parallel sweep covers the whole group, then the
+		// per-lane post-processing is identical to the per-source path.
+		locals := w.locals[:len(t.srcs)]
+		for i, s := range t.srcs {
+			locals[i] = graph.NodeID(localIndex(members, s))
+		}
+		rows := w.views[:len(t.srcs)]
+		for i := range rows {
+			rows[i] = w.rows[i][:len(members)]
+		}
+		bfs.MultiSourceWRows(localG[t.b], localUnw[t.b], locals, w.ms, rows)
+		for lane, src := range t.srcs {
+			accumulateSource(w, t.b, src, rows[lane])
 		}
 	})
 	trav := time.Since(travStart)
@@ -416,14 +483,15 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 		var c int64
 		for li, ci := range tree.BlockCuts[b] {
 			c += contrib.Dout[b][li]
-			cutTasks = append(cutTasks, task{int32(b), tree.Cuts[ci]})
+			cutTasks = append(cutTasks, task{int32(b), tree.Cuts[ci : ci+1]})
 		}
 		crossConst[b] = c
 	}
 	par.ForDynamic(len(cutTasks), workers, 1, func(worker, ti int) {
 		t := cutTasks[ti]
 		b := t.b
-		li := tree.CutPos(b, tree.CutIndex[t.src])
+		src := t.srcs[0]
+		li := tree.CutPos(b, tree.CutIndex[src])
 		wout := contrib.Wout[b][li]
 		if useCutCache {
 			// Replay the cached pass-1 row in its canonical order:
@@ -445,7 +513,7 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 			return
 		}
 		w := &scratch[worker]
-		runBlockSource(w, b, t.src)
+		runBlockSource(w, b, src)
 		for _, m := range d.BlockNodes[b] {
 			if homeOf[m] == b {
 				o := red.ToOld[m]
@@ -629,5 +697,3 @@ func intersectBlocks(cand, other []int32) []int32 {
 	}
 	return out
 }
-
-func dist0(dist []int32, idx int32) int32 { return dist[idx] }

@@ -102,21 +102,41 @@ func estimateGlobal(red *reduce.Reduction, opts *Options) (*Result, error) {
 		atomic.AddInt64(&s2n, own-toSamples)
 	}
 
-	par.ForDynamic(kEff, workers, 1, func(worker, i int) {
-		w := &scratch[worker]
-		if i < k {
-			srcR := samplesReduced[i]
-			bfs.WDistancesAuto(red.G, unweighted, srcR, w.s)
-			red.Scatter(w.s.Dist, w.distOrig)
-			red.Extend(w.distOrig)
-			accumulateRow(w, red.ToOld[srcR])
-			return
-		}
-		// Augmentation source: plain BFS on the original graph.
-		src := extraOrig[i-k]
-		bfs.Distances(red.Orig, src, w.distOrig, w.origQ)
-		accumulateRow(w, src)
-	})
+	if opts.Traversal.batched(k) {
+		// Batched engine: 64-wide multi-source sweeps over the reduced
+		// graph; each lane's row is scattered and extended exactly like a
+		// per-source traversal, so the accumulated integers are identical.
+		bfs.RunBatchesW(red.G, samplesReduced, workers, func(worker, _ int, batch []graph.NodeID, rows [][]int32) {
+			w := &scratch[worker]
+			for lane, srcR := range batch {
+				red.Scatter(rows[lane], w.distOrig)
+				red.Extend(w.distOrig)
+				accumulateRow(w, red.ToOld[srcR])
+			}
+		})
+		par.ForDynamic(len(extraOrig), workers, 1, func(worker, i int) {
+			w := &scratch[worker]
+			src := extraOrig[i]
+			bfs.Distances(red.Orig, src, w.distOrig, w.origQ)
+			accumulateRow(w, src)
+		})
+	} else {
+		par.ForDynamic(kEff, workers, 1, func(worker, i int) {
+			w := &scratch[worker]
+			if i < k {
+				srcR := samplesReduced[i]
+				bfs.WDistancesAuto(red.G, unweighted, srcR, w.s)
+				red.Scatter(w.s.Dist, w.distOrig)
+				red.Extend(w.distOrig)
+				accumulateRow(w, red.ToOld[srcR])
+				return
+			}
+			// Augmentation source: plain BFS on the original graph.
+			src := extraOrig[i-k]
+			bfs.Distances(red.Orig, src, w.distOrig, w.origQ)
+			accumulateRow(w, src)
+		})
+	}
 	res.Stats.Traverse = time.Since(start)
 
 	aggStart := time.Now()

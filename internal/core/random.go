@@ -44,9 +44,18 @@ func samplesFor(n int, fraction float64) int {
 }
 
 // RandomSampling is the paper's Algorithm 1: choose k = fraction·n nodes
-// uniformly at random, BFS from each in parallel, report exact farness for
-// the sampled nodes and the (n−1)/k-scaled distance sum for the rest.
+// uniformly at random, traverse from each, report exact farness for the
+// sampled nodes and the (n−1)/k-scaled distance sum for the rest. The
+// traversal engine is chosen automatically (see TraversalAuto); use
+// RandomSamplingMode to force one.
 func RandomSampling(g *graph.Graph, fraction float64, workers int, seed int64) *Result {
+	return RandomSamplingMode(g, fraction, workers, seed, TraversalAuto)
+}
+
+// RandomSamplingMode is RandomSampling with an explicit traversal engine.
+// Farness output is identical across modes for the same seed; only the
+// wall-clock differs.
+func RandomSamplingMode(g *graph.Graph, fraction float64, workers int, seed int64, mode TraversalMode) *Result {
 	n := g.NumNodes()
 	res := &Result{
 		Farness: make([]float64, n),
@@ -72,26 +81,37 @@ func RandomSampling(g *graph.Graph, fraction float64, workers int, seed int64) *
 	start := time.Now()
 	workers = par.Workers(workers)
 	acc := make([]int64, n)
-	type ws struct {
-		dist []int32
-		q    *queue.FIFO
-	}
-	scratch := make([]ws, workers)
-	for i := range scratch {
-		scratch[i] = ws{dist: make([]int32, n), q: queue.NewFIFO(n)}
-	}
 	exactFar := make([]int64, n)
-	par.ForDynamic(k, workers, 1, func(worker, i int) {
-		s := &scratch[worker]
-		src := samples[i]
-		bfs.Distances(g, src, s.dist, s.q)
+	accumulateRow := func(src graph.NodeID, dist []int32) {
 		var own int64
-		for w, d := range s.dist {
+		for w, d := range dist {
 			own += int64(d)
 			atomic.AddInt64(&acc[w], int64(d))
 		}
 		atomic.StoreInt64(&exactFar[src], own)
-	})
+	}
+	if mode.batched(k) {
+		bfs.RunBatches(g, samples, workers, func(_, _ int, batch []graph.NodeID, rows [][]int32) {
+			for lane, src := range batch {
+				accumulateRow(src, rows[lane])
+			}
+		})
+	} else {
+		type ws struct {
+			dist []int32
+			q    *queue.FIFO
+		}
+		scratch := make([]ws, workers)
+		for i := range scratch {
+			scratch[i] = ws{dist: make([]int32, n), q: queue.NewFIFO(n)}
+		}
+		par.ForDynamic(k, workers, 1, func(worker, i int) {
+			s := &scratch[worker]
+			src := samples[i]
+			bfs.Distances(g, src, s.dist, s.q)
+			accumulateRow(src, s.dist)
+		})
+	}
 	res.Stats.Traverse = time.Since(start)
 
 	scale := float64(n-1) / float64(k)

@@ -1,0 +1,52 @@
+package core
+
+// TraversalMode selects the traversal engine the estimators use for their
+// sampled sources.
+type TraversalMode int
+
+const (
+	// TraversalAuto (default) picks TraversalBatched whenever at least
+	// batchMinSources sampled sources share a traversal unit — the whole
+	// (reduced) graph for the global estimators, one biconnected block for
+	// the cumulative one — and TraversalPerSource below that, where batch
+	// setup costs outweigh the shared edge scans.
+	TraversalAuto TraversalMode = iota
+	// TraversalPerSource runs one BFS/Dial per sampled source, parallel
+	// across sources (the original engine).
+	TraversalPerSource
+	// TraversalBatched groups sources into ≤64-wide bit-parallel batches
+	// that share edge scans (see internal/bfs MultiSource/MultiSourceW)
+	// and fans the batches out across the worker pool. Farness output is
+	// bit-identical to TraversalPerSource for the same seed.
+	TraversalBatched
+)
+
+// batchMinSources is the Auto threshold: below 8 sources in a traversal
+// unit a 64-lane sweep mostly carries empty lanes and the per-source
+// engine's simpler inner loop wins.
+const batchMinSources = 8
+
+// String names the mode for logs and experiment tables.
+func (m TraversalMode) String() string {
+	switch m {
+	case TraversalPerSource:
+		return "per-source"
+	case TraversalBatched:
+		return "batched"
+	default:
+		return "auto"
+	}
+}
+
+// batched reports whether a traversal unit with k sampled sources should
+// use the batched engine under this mode.
+func (m TraversalMode) batched(k int) bool {
+	switch m {
+	case TraversalPerSource:
+		return false
+	case TraversalBatched:
+		return k > 0
+	default:
+		return k >= batchMinSources
+	}
+}

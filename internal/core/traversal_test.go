@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+var traversalFamilies = []struct {
+	name  string
+	build func(n int, seed int64) *graph.Graph
+}{
+	{"web", gen.Web},
+	{"social", gen.Social},
+	{"community", gen.Community},
+	{"road", gen.Road},
+}
+
+// TestRandomSamplingTraversalModesIdentical: the batched engine must
+// reproduce the per-source engine's farness output bit-for-bit — both are
+// integer accumulations over the same sampled rows, so any divergence is a
+// kernel bug, not estimator noise.
+func TestRandomSamplingTraversalModesIdentical(t *testing.T) {
+	for _, fam := range traversalFamilies {
+		t.Run(fam.name, func(t *testing.T) {
+			g := fam.build(1500, 42)
+			per := RandomSamplingMode(g, 0.2, 4, 7, TraversalPerSource)
+			bat := RandomSamplingMode(g, 0.2, 4, 7, TraversalBatched)
+			if per.Stats.Samples != bat.Stats.Samples {
+				t.Fatalf("sample counts differ: %d vs %d", per.Stats.Samples, bat.Stats.Samples)
+			}
+			for v := range per.Farness {
+				if per.Farness[v] != bat.Farness[v] {
+					t.Fatalf("node %d: per-source %v, batched %v", v, per.Farness[v], bat.Farness[v])
+				}
+				if per.Exact[v] != bat.Exact[v] {
+					t.Fatalf("node %d: exactness flags differ", v)
+				}
+			}
+		})
+	}
+}
+
+// TestEstimateTraversalModesIdentical checks the same invariant through the
+// full estimator stack: global (C+R, I+C+R) and cumulative (BiCC) paths,
+// where batching happens on the reduced graph and inside blocks.
+func TestEstimateTraversalModesIdentical(t *testing.T) {
+	techs := []Technique{TechCR, TechICR, TechCumulative}
+	for _, fam := range traversalFamilies {
+		for _, tech := range techs {
+			t.Run(fam.name+"/"+tech.String(), func(t *testing.T) {
+				g := fam.build(1200, 5)
+				run := func(mode TraversalMode) *Result {
+					res, err := Estimate(g, Options{
+						Techniques:     tech,
+						SampleFraction: 0.2,
+						Workers:        4,
+						Seed:           3,
+						Traversal:      mode,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				per := run(TraversalPerSource)
+				bat := run(TraversalBatched)
+				if per.Stats.Samples != bat.Stats.Samples {
+					t.Fatalf("sample counts differ: %d vs %d", per.Stats.Samples, bat.Stats.Samples)
+				}
+				for v := range per.Farness {
+					if per.Farness[v] != bat.Farness[v] {
+						t.Fatalf("node %d: per-source %v, batched %v", v, per.Farness[v], bat.Farness[v])
+					}
+					if per.Exact[v] != bat.Exact[v] {
+						t.Fatalf("node %d: exactness flags differ", v)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTraversalAutoPolicy pins the Auto threshold: tiny source counts stay
+// per-source, larger ones batch.
+func TestTraversalAutoPolicy(t *testing.T) {
+	cases := []struct {
+		mode TraversalMode
+		k    int
+		want bool
+	}{
+		{TraversalAuto, 1, false},
+		{TraversalAuto, batchMinSources - 1, false},
+		{TraversalAuto, batchMinSources, true},
+		{TraversalAuto, 1000, true},
+		{TraversalPerSource, 1000, false},
+		{TraversalBatched, 1, true},
+		{TraversalBatched, 0, false},
+	}
+	for _, c := range cases {
+		if got := c.mode.batched(c.k); got != c.want {
+			t.Errorf("%v.batched(%d) = %v, want %v", c.mode, c.k, got, c.want)
+		}
+	}
+}

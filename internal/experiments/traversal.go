@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TraversalRow compares the per-source and batched traversal engines on one
+// dataset at the paper's 20% sampling fraction. Both engines produce
+// identical farness values for the same seed, so only wall-clock is
+// reported: RandomPS/RandomB time the unreduced-graph baseline
+// (Algorithm 1), CumPS/CumB the full cumulative estimator, and the Ratio
+// columns are per-source over batched (>1 means batching wins).
+type TraversalRow struct {
+	Dataset     gen.Dataset
+	RandomPS    time.Duration
+	RandomB     time.Duration
+	RandomRatio float64
+	CumPS       time.Duration
+	CumB        time.Duration
+	CumRatio    float64
+}
+
+// TraversalBench measures the engines head to head on one dataset per
+// graph class (the first stand-in of each family keeps the sweep under a
+// few seconds at default scale).
+func TraversalBench(cfg Config, fraction float64) ([]TraversalRow, error) {
+	if fraction <= 0 {
+		fraction = 0.2
+	}
+	var rows []TraversalRow
+	seen := map[gen.Class]bool{}
+	for _, ds := range gen.Datasets(cfg.scale()) {
+		if seen[ds.Class] {
+			continue
+		}
+		seen[ds.Class] = true
+		g := ds.Build()
+
+		row := TraversalRow{Dataset: ds}
+		start := time.Now()
+		core.RandomSamplingMode(g, fraction, cfg.Workers, cfg.Seed, core.TraversalPerSource)
+		row.RandomPS = time.Since(start)
+		start = time.Now()
+		core.RandomSamplingMode(g, fraction, cfg.Workers, cfg.Seed, core.TraversalBatched)
+		row.RandomB = time.Since(start)
+
+		estimate := func(mode core.TraversalMode) (time.Duration, error) {
+			start := time.Now()
+			_, err := core.Estimate(g, core.Options{
+				Techniques:     core.TechCumulative,
+				SampleFraction: fraction,
+				Workers:        cfg.Workers,
+				Seed:           cfg.Seed,
+				Traversal:      mode,
+			})
+			return time.Since(start), err
+		}
+		var err error
+		if row.CumPS, err = estimate(core.TraversalPerSource); err != nil {
+			return nil, fmt.Errorf("%s: %v", ds.Name, err)
+		}
+		if row.CumB, err = estimate(core.TraversalBatched); err != nil {
+			return nil, fmt.Errorf("%s: %v", ds.Name, err)
+		}
+		row.RandomRatio = ratio(row.RandomPS, row.RandomB)
+		row.CumRatio = ratio(row.CumPS, row.CumB)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// FprintTraversal renders the engine comparison with the per-source/batched
+// wall-clock ratios.
+func FprintTraversal(w io.Writer, fraction float64, rows []TraversalRow) {
+	fmt.Fprintf(w, "Traversal engines: per-source vs batched 64-wide multi-source at %.0f%% sampling\n", fraction*100)
+	fmt.Fprintf(w, "%-28s %-10s %10s %10s %8s %10s %10s %8s\n",
+		"Graph", "Class", "RandPS", "RandBatch", "xRand", "CumPS", "CumBatch", "xCum")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %-10s %10s %10s %7.2fx %10s %10s %7.2fx\n",
+			r.Dataset.Name, r.Dataset.Class, fmtDur(r.RandomPS), fmtDur(r.RandomB), r.RandomRatio,
+			fmtDur(r.CumPS), fmtDur(r.CumB), r.CumRatio)
+	}
+}
