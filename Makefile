@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test vet check bench experiments fuzz cover
+.PHONY: build test vet check bench bench-reduction experiments fuzz cover
 
 build:
 	go build ./...
@@ -19,8 +19,14 @@ check:
 	go test -race ./...
 
 # Benchmarks: one per paper table/figure plus kernel/ablation benches.
-bench:
+bench: bench-reduction
 	go test -bench=. -benchmem ./...
+
+# Preprocessing-pipeline benchmark: per-stage wall-clock at 1/2/4/GOMAXPROCS
+# workers for one dataset per generator family, recorded machine-readably in
+# BENCH_reduction.json (see EXPERIMENTS.md for the discussion).
+bench-reduction:
+	go run ./cmd/experiments -only reduction -json BENCH_reduction.json
 
 # Regenerate every table and figure of the paper (about 4 CPU-minutes).
 experiments:

@@ -135,7 +135,11 @@ type Result = core.Result
 // samples, timings).
 type RunStats = core.RunStats
 
-// Estimate runs the BRICS estimator on a connected graph.
+// Estimate runs the BRICS estimator on a connected graph. Options.Workers
+// is the single parallelism knob for the whole run: the reduction pipeline
+// (twin/chain/redundant detection, biconnected decomposition, graph
+// rebuilds) and the traversals all fan out across it, and every worker
+// count produces identical results.
 func Estimate(g *Graph, opts Options) (*Result, error) { return core.Estimate(g, opts) }
 
 // ExactFarness computes exact farness for every node with one parallel

@@ -7,8 +7,10 @@
 //	experiments -list
 //
 // Experiments: table1, fig4a, fig4b, fig5, fig6, fig7, fig8, fig9,
-// traversal (default: all, in order). See EXPERIMENTS.md for the recorded
-// paper-vs-measured comparison.
+// traversal, reduction (default: all, in order). See EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison. The reduction experiment times the
+// parallel preprocessing pipeline; -json additionally writes its rows as a
+// machine-readable report (used by `make bench-reduction`).
 package main
 
 import (
@@ -27,7 +29,8 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default stand-in sizes)")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		seed    = flag.Int64("seed", 1, "sampling seed")
-		only    = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,traversal,ablations,sweep")
+		only    = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,traversal,reduction,ablations,sweep")
+		jsonOut = flag.String("json", "", "write the reduction benchmark rows to this JSON file")
 		charts  = flag.Bool("charts", false, "render text bar charts in addition to the tables")
 		list    = flag.Bool("list", false, "list datasets and exit")
 	)
@@ -117,6 +120,16 @@ func main() {
 		rows, err := experiments.TraversalBench(cfg, 0.2)
 		check(err)
 		experiments.FprintTraversal(os.Stdout, 0.2, rows)
+		fmt.Println()
+	}
+	if run("reduction") {
+		rows, err := experiments.ReductionBench(cfg)
+		check(err)
+		experiments.FprintReduction(os.Stdout, rows)
+		if *jsonOut != "" {
+			check(experiments.WriteReductionJSON(*jsonOut, cfg, rows))
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
 		fmt.Println()
 	}
 	if run("ablations") {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Edge is one edge of a block, in the node ids of the decomposed graph.
@@ -58,9 +59,22 @@ type frame struct {
 // connected; isolated single-node graphs yield zero blocks. Disconnected
 // inputs are processed per component (each component decomposes
 // independently), so callers that guarantee connectivity get the classic
-// single-tree BCT.
-func Decompose(g *graph.WGraph) *Decomposition {
+// single-tree BCT. Decompose is DecomposeWorkers at one worker — every
+// worker count yields the same Decomposition.
+func Decompose(g *graph.WGraph) *Decomposition { return DecomposeWorkers(g, 1) }
+
+// DecomposeWorkers runs the Hopcroft–Tarjan decomposition with one DFS per
+// connected component, components fanned out across workers (<1 means
+// GOMAXPROCS). Components are node-disjoint, so the workers share the
+// disc/low/IsCut arrays without conflict; each component keeps a local
+// timer and local stacks, and the per-component block lists are merged in
+// ascending order of the component's smallest node — the order the
+// sequential root scan discovers them — so the output is bit-identical for
+// every worker count. A connected input (the pipeline's guarantee) has one
+// component and degenerates to the sequential pass.
+func DecomposeWorkers(g *graph.WGraph, workers int) *Decomposition {
 	n := g.NumNodes()
+	workers = par.Workers(workers)
 	d := &Decomposition{
 		IsCut:    make([]bool, n),
 		BlocksOf: make([][]int32, n),
@@ -71,9 +85,64 @@ func Decompose(g *graph.WGraph) *Decomposition {
 	const unvisited = int32(-1)
 	disc := make([]int32, n)
 	low := make([]int32, n)
-	for i := range disc {
-		disc[i] = unvisited
+	par.ForBlocks(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			disc[i] = unvisited
+		}
+	})
+
+	// Label components by their smallest node; roots come out ascending.
+	comp := disc // reuse: unvisited doubles as "no component yet"
+	var roots []graph.NodeID
+	var bfsQ []graph.NodeID
+	for v := 0; v < n; v++ {
+		if comp[v] != unvisited {
+			continue
+		}
+		roots = append(roots, graph.NodeID(v))
+		comp[v] = int32(len(roots) - 1)
+		bfsQ = append(bfsQ[:0], graph.NodeID(v))
+		for len(bfsQ) > 0 {
+			u := bfsQ[len(bfsQ)-1]
+			bfsQ = bfsQ[:len(bfsQ)-1]
+			for _, w := range g.Neighbors(u) {
+				if comp[w] == unvisited {
+					comp[w] = comp[u]
+					bfsQ = append(bfsQ, w)
+				}
+			}
+		}
 	}
+	// Reset disc for the DFS passes (comp aliased it); each component's DFS
+	// then touches only its own disjoint entries.
+	par.ForBlocks(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			disc[i] = unvisited
+		}
+	})
+	perComp := make([][][]Edge, len(roots))
+	if len(roots) == 1 {
+		perComp[0] = decomposeComponent(g, roots[0], disc, low, d.IsCut)
+	} else {
+		par.ForDynamic(len(roots), workers, 1, func(_, c int) {
+			perComp[c] = decomposeComponent(g, roots[c], disc, low, d.IsCut)
+		})
+	}
+	for _, blocks := range perComp {
+		for _, blk := range blocks {
+			d.addBlock(blk)
+		}
+	}
+	return d
+}
+
+// decomposeComponent runs the iterative Hopcroft–Tarjan DFS over the
+// component containing root, writing disc/low/isCut entries only for that
+// component's nodes and returning its blocks in emission order. Safe to run
+// concurrently for node-disjoint components sharing the arrays.
+func decomposeComponent(g *graph.WGraph, root graph.NodeID, disc, low []int32, isCut []bool) [][]Edge {
+	const unvisited = int32(-1)
+	var blocks [][]Edge
 	var timer int32
 	var edgeStack []Edge
 	var stack []frame
@@ -89,75 +158,70 @@ func Decompose(g *graph.WGraph) *Decomposition {
 				break
 			}
 		}
-		d.addBlock(blk)
+		blocks = append(blocks, blk)
 	}
 
-	for root := 0; root < n; root++ {
-		if disc[root] != unvisited {
+	rootChildren := 0
+	disc[root] = timer
+	low[root] = timer
+	timer++
+	stack = append(stack, frame{v: root, parent: -1})
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		v := f.v
+		nbrs := g.Neighbors(v)
+		ws := g.Weights(v)
+		advanced := false
+		for int(f.nextEdge) < len(nbrs) {
+			w := nbrs[f.nextEdge]
+			wt := ws[f.nextEdge]
+			f.nextEdge++
+			if w == f.parent {
+				continue // simple graph: exactly one parent edge
+			}
+			if disc[w] == unvisited {
+				disc[w] = timer
+				low[w] = timer
+				timer++
+				if v == root {
+					rootChildren++
+				}
+				edgeStack = append(edgeStack, Edge{U: v, V: w, W: wt})
+				stack = append(stack, frame{v: w, parent: v})
+				advanced = true
+				break
+			}
+			if disc[w] < disc[v] {
+				// Back edge to an ancestor.
+				edgeStack = append(edgeStack, Edge{U: v, V: w, W: wt})
+				if disc[w] < low[v] {
+					low[v] = disc[w]
+				}
+			}
+		}
+		if advanced {
 			continue
 		}
-		rootChildren := 0
-		disc[root] = timer
-		low[root] = timer
-		timer++
-		stack = append(stack[:0], frame{v: graph.NodeID(root), parent: -1})
-		for len(stack) > 0 {
-			f := &stack[len(stack)-1]
-			v := f.v
-			nbrs := g.Neighbors(v)
-			ws := g.Weights(v)
-			advanced := false
-			for int(f.nextEdge) < len(nbrs) {
-				w := nbrs[f.nextEdge]
-				wt := ws[f.nextEdge]
-				f.nextEdge++
-				if w == f.parent {
-					continue // simple graph: exactly one parent edge
-				}
-				if disc[w] == unvisited {
-					disc[w] = timer
-					low[w] = timer
-					timer++
-					if v == graph.NodeID(root) {
-						rootChildren++
-					}
-					edgeStack = append(edgeStack, Edge{U: v, V: w, W: wt})
-					stack = append(stack, frame{v: w, parent: v})
-					advanced = true
-					break
-				}
-				if disc[w] < disc[v] {
-					// Back edge to an ancestor.
-					edgeStack = append(edgeStack, Edge{U: v, V: w, W: wt})
-					if disc[w] < low[v] {
-						low[v] = disc[w]
-					}
-				}
+		// v is finished; propagate low to parent and test the
+		// articulation condition for the tree edge parent→v.
+		stack = stack[:len(stack)-1]
+		if f.parent >= 0 {
+			p := f.parent
+			if low[v] < low[p] {
+				low[p] = low[v]
 			}
-			if advanced {
-				continue
-			}
-			// v is finished; propagate low to parent and test the
-			// articulation condition for the tree edge parent→v.
-			stack = stack[:len(stack)-1]
-			if f.parent >= 0 {
-				p := f.parent
-				if low[v] < low[p] {
-					low[p] = low[v]
+			if low[v] >= disc[p] {
+				if p != root {
+					isCut[p] = true
 				}
-				if low[v] >= disc[p] {
-					if p != graph.NodeID(root) {
-						d.IsCut[p] = true
-					}
-					emitBlock(p, v)
-				}
+				emitBlock(p, v)
 			}
-		}
-		if rootChildren >= 2 {
-			d.IsCut[root] = true
 		}
 	}
-	return d
+	if rootChildren >= 2 {
+		isCut[root] = true
+	}
+	return blocks
 }
 
 func (d *Decomposition) addBlock(edges []Edge) {

@@ -2,6 +2,7 @@ package bicc
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -171,5 +172,37 @@ func TestDeepGraphNoOverflow(t *testing.T) {
 	d := Decompose(g)
 	if d.NumBlocks() != n-1 {
 		t.Fatalf("blocks = %d, want %d", d.NumBlocks(), n-1)
+	}
+}
+
+// TestDecomposeWorkersDeterministic checks the DecomposeWorkers contract:
+// multi-component random graphs decompose bit-identically for every worker
+// count, including counts beyond GOMAXPROCS.
+func TestDecomposeWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.Intn(180)
+		b := graph.NewWBuilder(n)
+		// Sparse random edges without connecting: several components with
+		// bridges, cycles and isolated nodes.
+		m := n + rng.Intn(2*n)
+		for i := 0; i < m; i++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u != v {
+				_ = b.AddEdge(u, v, int32(1+rng.Intn(4)))
+			}
+		}
+		g := b.Build()
+		base := DecomposeWorkers(g, 1)
+		if err := base.Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, w := range []int{2, 3, 4, 8} {
+			got := DecomposeWorkers(g, w)
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("trial %d: workers=%d decomposition differs from sequential", trial, w)
+			}
+		}
 	}
 }

@@ -20,6 +20,7 @@ package chains
 
 import (
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Type classifies a chain per the paper's Fig. 1.
@@ -91,43 +92,82 @@ type Result struct {
 //
 // Degree-1 nodes adjacent to an anchor become singleton Dangling chains;
 // degree-1 nodes ending a run of degree-2 nodes are folded into that run's
-// Dangling chain, matching the paper's Type-1.
-func Find(g *graph.Graph) *Result {
-	n := g.NumNodes()
-	res := &Result{}
+// Dangling chain, matching the paper's Type-1. Find is FindWorkers at one
+// worker — every worker count yields the same Result.
+func Find(g *graph.Graph) *Result { return FindWorkers(g, 1) }
 
-	isInterior := func(v graph.NodeID) bool {
-		d := g.Degree(v)
-		return d == 1 || d == 2
-	}
-	anchors := 0
-	for v := 0; v < n; v++ {
-		if !isInterior(graph.NodeID(v)) {
-			anchors++
+// anchorScan fills interior flags for a graph given by degree lookup and
+// returns the ascending anchor list, or nil when the graph has no anchor
+// (a pure path/cycle input).
+func anchorScan(n, workers int, degree func(graph.NodeID) int, interior []bool) []graph.NodeID {
+	nb := par.NumBlocks(n, workers)
+	counts := make([]int64, nb)
+	par.ForBlocks(n, workers, func(b, lo, hi int) {
+		cnt := int64(0)
+		for v := lo; v < hi; v++ {
+			d := degree(graph.NodeID(v))
+			interior[v] = d == 1 || d == 2
+			if !interior[v] {
+				cnt++
+			}
 		}
+		counts[b] = cnt
+	})
+	var total int64
+	for b := range counts {
+		c := counts[b]
+		counts[b] = total
+		total += c
 	}
-	if anchors == 0 {
-		// Path or cycle graph (or a collection of them): no anchors to
-		// hang chains from.
+	if total == 0 {
+		return nil
+	}
+	anchors := make([]graph.NodeID, total)
+	par.ForBlocks(n, workers, func(b, lo, hi int) {
+		out := counts[b]
+		for v := lo; v < hi; v++ {
+			if !interior[v] {
+				anchors[out] = graph.NodeID(v)
+				out++
+			}
+		}
+	})
+	return anchors
+}
+
+// FindWorkers is Find with chain discovery fanned out over the anchors
+// (<1 worker means GOMAXPROCS). Without the sequential pass's shared
+// visited[] marks, each chain is walked from both of its entries; a
+// canonical ownership rule keeps exactly the copy the sequential scan
+// would have emitted — a Parallel chain belongs to its smaller anchor, a
+// pendant cycle to its smaller entry neighbour, a Dangling chain to its
+// only anchor — so the concatenation of the per-anchor chain lists in
+// anchor order is bit-identical to the sequential result for every worker
+// count.
+func FindWorkers(g *graph.Graph, workers int) *Result {
+	n := g.NumNodes()
+	workers = par.Workers(workers)
+	res := &Result{}
+	interior := make([]bool, n)
+	anchors := anchorScan(n, workers, g.Degree, interior)
+	if anchors == nil {
 		res.WholeGraph = n > 0
 		return res
 	}
 
-	visited := make([]bool, n)
-
 	// walk follows a run of degree-≤2 nodes starting from `first`, which
 	// was reached from `from`. It returns the interior nodes in order and
 	// the terminating anchor (or -1 if the run ends at a degree-1 node).
-	walk := func(from, first graph.NodeID) (interior []graph.NodeID, end graph.NodeID) {
+	// Read-only: safe from concurrent walkers.
+	walk := func(from, first graph.NodeID) (run []graph.NodeID, end graph.NodeID) {
 		prev, cur := from, first
 		for {
-			if !isInterior(cur) {
-				return interior, cur
+			if !interior[cur] {
+				return run, cur
 			}
-			visited[cur] = true
-			interior = append(interior, cur)
+			run = append(run, cur)
 			if g.Degree(cur) == 1 {
-				return interior, -1
+				return run, -1
 			}
 			nbrs := g.Neighbors(cur)
 			next := nbrs[0]
@@ -138,32 +178,44 @@ func Find(g *graph.Graph) *Result {
 		}
 	}
 
-	for a := 0; a < n; a++ {
-		u := graph.NodeID(a)
-		if isInterior(u) {
-			continue
-		}
+	perAnchor := make([][]Chain, len(anchors))
+	par.ForDynamic(len(anchors), workers, 32, func(_, ai int) {
+		u := anchors[ai]
+		var local []Chain
 		for _, first := range g.Neighbors(u) {
-			if !isInterior(first) || visited[first] {
+			if !interior[first] {
 				continue
 			}
-			interior, end := walk(u, first)
+			run, end := walk(u, first)
 			switch {
 			case end == -1:
-				res.Chains = append(res.Chains, Chain{U: u, V: -1, Interior: interior, Type: Dangling})
+				local = append(local, Chain{U: u, V: -1, Interior: run, Type: Dangling})
 			case end == u:
-				res.Chains = append(res.Chains, Chain{U: u, V: u, Interior: interior, Type: Cycle})
+				// A pendant cycle is walked from both of u's entry edges;
+				// keep the walk that entered through the smaller entry —
+				// the one the sequential neighbour scan found first.
+				if len(run) > 1 && run[0] > run[len(run)-1] {
+					continue
+				}
+				local = append(local, Chain{U: u, V: u, Interior: run, Type: Cycle})
 			default:
-				res.Chains = append(res.Chains, Chain{U: u, V: end, Interior: interior, Type: Parallel})
+				// A chain between two anchors is walked from both; its
+				// smaller anchor owns it, matching the ascending anchor
+				// scan of the sequential pass.
+				if end < u {
+					continue
+				}
+				local = append(local, Chain{U: u, V: end, Interior: run, Type: Parallel})
 			}
-			res.Removed += len(interior)
 		}
+		perAnchor[ai] = local
+	})
+	for _, local := range perAnchor {
+		for i := range local {
+			res.Removed += len(local[i].Interior)
+		}
+		res.Chains = append(res.Chains, local...)
 	}
-	// Note on the cycle case: a pendant cycle attached at u is traversed
-	// once from each of u's two entry edges; the visited[] marks prevent
-	// the second traversal from re-emitting it, because its first interior
-	// node is already visited. A Parallel chain is likewise discovered
-	// exactly once from whichever anchor scans it first.
 	return res
 }
 

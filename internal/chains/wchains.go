@@ -2,6 +2,7 @@ package chains
 
 import (
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // WChain is a chain discovered in a *weighted* (already contracted) graph.
@@ -36,40 +37,40 @@ type WResult struct {
 }
 
 // WFind discovers maximal chains of degree-≤2 nodes in a weighted graph,
-// mirroring Find but tracking weighted offsets.
-func WFind(g *graph.WGraph) *WResult {
+// mirroring Find but tracking weighted offsets. WFind is WFindWorkers at
+// one worker — every worker count yields the same WResult.
+func WFind(g *graph.WGraph) *WResult { return WFindWorkers(g, 1) }
+
+// WFindWorkers fans weighted chain discovery out over the anchors with the
+// same canonical ownership rule as FindWorkers (smaller anchor owns a
+// Parallel chain, smaller entry owns a pendant cycle), so the result is
+// bit-identical to the sequential scan for every worker count — including
+// the direction-dependent Offsets of cycles, which are always enumerated
+// from the smaller entry.
+func WFindWorkers(g *graph.WGraph, workers int) *WResult {
 	n := g.NumNodes()
+	workers = par.Workers(workers)
 	res := &WResult{}
-	isInterior := func(v graph.NodeID) bool {
-		d := g.Degree(v)
-		return d == 1 || d == 2
-	}
-	anchors := 0
-	for v := 0; v < n; v++ {
-		if !isInterior(graph.NodeID(v)) {
-			anchors++
-		}
-	}
-	if anchors == 0 {
+	interior := make([]bool, n)
+	anchors := anchorScan(n, workers, g.Degree, interior)
+	if anchors == nil {
 		res.WholeGraph = n > 0
 		return res
 	}
-	visited := make([]bool, n)
 
 	// walk follows a degree-≤2 run from `first` (entered from `from` over
-	// an edge of weight w0), accumulating weighted offsets.
-	walk := func(from, first graph.NodeID, w0 int32) (interior []graph.NodeID, offsets []int32, end graph.NodeID, total int32) {
+	// an edge of weight w0), accumulating weighted offsets. Read-only.
+	walk := func(from, first graph.NodeID, w0 int32) (run []graph.NodeID, offsets []int32, end graph.NodeID, total int32) {
 		prev, cur := from, first
 		dist := w0
 		for {
-			if !isInterior(cur) {
-				return interior, offsets, cur, dist
+			if !interior[cur] {
+				return run, offsets, cur, dist
 			}
-			visited[cur] = true
-			interior = append(interior, cur)
+			run = append(run, cur)
 			offsets = append(offsets, dist)
 			if g.Degree(cur) == 1 {
-				return interior, offsets, -1, dist
+				return run, offsets, -1, dist
 			}
 			nbrs := g.Neighbors(cur)
 			ws := g.Weights(cur)
@@ -82,31 +83,42 @@ func WFind(g *graph.WGraph) *WResult {
 		}
 	}
 
-	for a := 0; a < n; a++ {
-		u := graph.NodeID(a)
-		if isInterior(u) {
-			continue
-		}
+	perAnchor := make([][]WChain, len(anchors))
+	par.ForDynamic(len(anchors), workers, 32, func(_, ai int) {
+		u := anchors[ai]
 		nbrs := g.Neighbors(u)
 		ws := g.Weights(u)
+		var local []WChain
 		for i, first := range nbrs {
-			if !isInterior(first) || visited[first] {
+			if !interior[first] {
 				continue
 			}
-			interior, offsets, end, total := walk(u, first, ws[i])
-			c := WChain{U: u, V: end, Interior: interior, Offsets: offsets, Total: total}
+			run, offsets, end, total := walk(u, first, ws[i])
+			c := WChain{U: u, V: end, Interior: run, Offsets: offsets, Total: total}
 			switch {
 			case end == -1:
 				c.Type = Dangling
 				c.Total = offsets[len(offsets)-1]
 			case end == u:
+				if len(run) > 1 && run[0] > run[len(run)-1] {
+					continue // owned by the smaller entry's walk
+				}
 				c.Type = Cycle
 			default:
+				if end < u {
+					continue // owned by the smaller anchor
+				}
 				c.Type = Parallel
 			}
-			res.Chains = append(res.Chains, c)
-			res.Removed += len(interior)
+			local = append(local, c)
 		}
+		perAnchor[ai] = local
+	})
+	for _, local := range perAnchor {
+		for i := range local {
+			res.Removed += len(local[i].Interior)
+		}
+		res.Chains = append(res.Chains, local...)
 	}
 	return res
 }

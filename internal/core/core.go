@@ -83,7 +83,10 @@ type Options struct {
 	// sources, in (0, 1]. Zero defaults to 0.2, the operating point the
 	// paper recommends for the cumulative approach (Fig. 4(b)).
 	SampleFraction float64
-	// Workers caps traversal parallelism; <1 means GOMAXPROCS.
+	// Workers caps the parallelism of the whole run — the reduction
+	// pipeline (twins/chains/redundant detection, BiCC decomposition, CSR
+	// rebuilds) and the traversals alike; <1 means GOMAXPROCS. Results
+	// are bit-identical for every worker count.
 	Workers int
 	// Seed makes sampling deterministic.
 	Seed int64
@@ -184,6 +187,7 @@ func Estimate(g *graph.Graph, opts Options) (*Result, error) {
 		Twins:     opts.Techniques&TechIdentical != 0,
 		Chains:    opts.Techniques&TechChains != 0,
 		Redundant: opts.Techniques&TechRedundant != 0,
+		Workers:   opts.Workers,
 	}
 	var red *reduce.Reduction
 	var err error

@@ -29,7 +29,7 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 	}
 
 	prepStart := time.Now()
-	d := bicc.Decompose(red.G)
+	d := bicc.DecomposeWorkers(red.G, opts.Workers)
 	if d.NumBlocks() <= 1 {
 		// A single biconnected block degenerates to the global estimator.
 		res, err := estimateGlobal(red, opts)

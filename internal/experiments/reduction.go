@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/reduce"
+)
+
+// ReductionRow is one (dataset, worker-count) measurement of the
+// preprocessing pipeline: total wall-clock plus the per-stage split from
+// reduce.Timings, and the speedup over the same dataset's sequential
+// (workers=1) run. The pipeline's output is bit-identical across worker
+// counts, so only time is compared.
+type ReductionRow struct {
+	Dataset gen.Dataset    `json:"-"`
+	Name    string         `json:"name"`
+	Class   string         `json:"class"`
+	Nodes   int            `json:"nodes"`
+	Edges   int            `json:"edges"`
+	Workers int            `json:"workers"`
+	Total   time.Duration  `json:"total_ns"`
+	Timings reduce.Timings `json:"stages_ns"`
+	Speedup float64        `json:"speedup_vs_sequential"`
+}
+
+// reductionWorkerSweep returns the worker counts the preprocessing table
+// reports: 1, 2, 4 and GOMAXPROCS, deduplicated and ascending.
+func reductionWorkerSweep() []int {
+	sweep := []int{1, 2, 4}
+	p := runtime.GOMAXPROCS(0)
+	if p != 1 && p != 2 && p != 4 {
+		i := len(sweep)
+		for i > 0 && sweep[i-1] > p {
+			i--
+		}
+		sweep = append(sweep[:i], append([]int{p}, sweep[i:]...)...)
+	}
+	return sweep
+}
+
+// ReductionBench times the full iterative reduction pipeline on one dataset
+// per graph class at 1/2/4/GOMAXPROCS workers. Each point is the best of
+// three runs (preprocessing is short enough that the first run's allocator
+// warm-up dominates a single sample).
+func ReductionBench(cfg Config) ([]ReductionRow, error) {
+	var rows []ReductionRow
+	seen := map[gen.Class]bool{}
+	for _, ds := range gen.Datasets(cfg.scale()) {
+		if seen[ds.Class] {
+			continue
+		}
+		seen[ds.Class] = true
+		g := ds.Build()
+		var seqTotal time.Duration
+		for _, w := range reductionWorkerSweep() {
+			row, err := reductionPoint(ds, g, w)
+			if err != nil {
+				return nil, err
+			}
+			if w == 1 {
+				seqTotal = row.Total
+			}
+			if row.Total > 0 {
+				row.Speedup = float64(seqTotal) / float64(row.Total)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func reductionPoint(ds gen.Dataset, g *graph.Graph, workers int) (ReductionRow, error) {
+	row := ReductionRow{
+		Dataset: ds,
+		Name:    ds.Name,
+		Class:   string(ds.Class),
+		Nodes:   g.NumNodes(),
+		Edges:   g.NumEdges(),
+		Workers: workers,
+	}
+	opts := reduce.Options{Twins: true, Chains: true, Redundant: true, Workers: workers}
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		red, err := reduce.RunIterative(g, opts, 0)
+		total := time.Since(start)
+		if err != nil {
+			return row, fmt.Errorf("%s workers=%d: %v", ds.Name, workers, err)
+		}
+		if rep == 0 || total < row.Total {
+			row.Total = total
+			row.Timings = red.Timings
+		}
+	}
+	return row, nil
+}
+
+// FprintReduction renders the preprocessing-time table, mirroring the
+// traversal-engine table: per-stage wall-clock and the speedup over the
+// sequential pipeline at each worker count.
+func FprintReduction(w io.Writer, rows []ReductionRow) {
+	fmt.Fprintf(w, "Reduction pipeline: preprocessing wall-clock by worker count (output is identical at every count)\n")
+	fmt.Fprintf(w, "%-28s %-10s %7s %10s %10s %10s %10s %10s %8s\n",
+		"Graph", "Class", "workers", "twins", "chains", "redundant", "rounds", "total", "speedup")
+	prev := ""
+	for _, r := range rows {
+		name, class := r.Name, r.Class
+		if name == prev {
+			name, class = "", ""
+		} else {
+			prev = name
+		}
+		fmt.Fprintf(w, "%-28s %-10s %7d %10s %10s %10s %10s %10s %7.2fx\n",
+			name, class, r.Workers,
+			fmtDur(r.Timings.Twins), fmtDur(r.Timings.Chains), fmtDur(r.Timings.Redundant),
+			fmtDur(r.Timings.Rounds), fmtDur(r.Total), r.Speedup)
+	}
+}
+
+// reductionReport is the BENCH_reduction.json document.
+type reductionReport struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	Scale      float64        `json:"scale"`
+	Note       string         `json:"note"`
+	Rows       []ReductionRow `json:"rows"`
+}
+
+// WriteReductionJSON writes the preprocessing benchmark to path as JSON so
+// `make bench` leaves a machine-readable record next to the text tables.
+func WriteReductionJSON(path string, cfg Config, rows []ReductionRow) error {
+	rep := reductionReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Scale:      cfg.scale(),
+		Note: "total_ns/stages_ns are wall-clock; speedup_vs_sequential compares against the " +
+			"workers=1 run on the same dataset. Worker counts above num_cpu time-slice a single " +
+			"core and cannot show real speedup.",
+		Rows: rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -3,45 +3,30 @@ package graph
 // Subgraph extracts the subgraph of g induced by the nodes where keep[v] is
 // true. It returns the new graph, a mapping newID -> oldID, and a mapping
 // oldID -> newID (-1 for removed nodes). Edges between kept nodes survive.
+// It is the sequential convenience form of SubgraphInto.
 func Subgraph(g *Graph, keep []bool) (sub *Graph, toOld []NodeID, toNew []NodeID) {
-	n := g.NumNodes()
-	toNew = make([]NodeID, n)
-	for v := 0; v < n; v++ {
-		if keep[v] {
-			toNew[v] = NodeID(len(toOld))
-			toOld = append(toOld, NodeID(v))
-		} else {
-			toNew[v] = -1
-		}
-	}
-	b := NewBuilder(len(toOld))
-	g.Edges(func(u, v NodeID) {
-		if keep[u] && keep[v] {
-			_ = b.AddEdge(toNew[u], toNew[v])
-		}
-	})
-	return b.Build(), toOld, toNew
+	toNew = make([]NodeID, g.NumNodes())
+	sub = SubgraphInto(g, keep, toNew, 1)
+	return sub, invertCompact(toNew, sub.NumNodes()), toNew
 }
 
 // WSubgraph is Subgraph for weighted graphs.
 func WSubgraph(g *WGraph, keep []bool) (sub *WGraph, toOld []NodeID, toNew []NodeID) {
-	n := g.NumNodes()
-	toNew = make([]NodeID, n)
-	for v := 0; v < n; v++ {
-		if keep[v] {
-			toNew[v] = NodeID(len(toOld))
-			toOld = append(toOld, NodeID(v))
-		} else {
-			toNew[v] = -1
+	toNew = make([]NodeID, g.NumNodes())
+	sub = WSubgraphInto(g, keep, toNew, 1)
+	return sub, invertCompact(toNew, sub.NumNodes()), toNew
+}
+
+// invertCompact turns a compact old→new renumbering into its newID→oldID
+// inverse.
+func invertCompact(toNew []NodeID, kept int) []NodeID {
+	toOld := make([]NodeID, kept)
+	for v, nv := range toNew {
+		if nv >= 0 {
+			toOld[nv] = NodeID(v)
 		}
 	}
-	b := NewWBuilder(len(toOld))
-	g.Edges(func(u, v NodeID, w int32) {
-		if keep[u] && keep[v] {
-			_ = b.AddEdge(toNew[u], toNew[v], w)
-		}
-	})
-	return b.Build(), toOld, toNew
+	return toOld
 }
 
 // DegreeStats summarises the degree distribution of a graph; Table I's

@@ -59,6 +59,106 @@ func For(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// blockSize returns the contiguous block length of the static schedule
+// shared by For, ForBlocks and PrefixSum: ⌈n/workers⌉. Deterministic in
+// (n, workers), which lets two passes over the same range agree on block
+// boundaries.
+func blockSize(n, workers int) int {
+	return (n + workers - 1) / workers
+}
+
+// NumBlocks returns the number of blocks ForBlocks will invoke for an
+// n-item range at the given worker count — callers that carry a per-block
+// accumulator (counts for a prefix sum, partial reductions) size it with
+// this.
+func NumBlocks(n, workers int) int {
+	workers = Workers(workers)
+	if n <= 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := blockSize(n, workers)
+	return (n + chunk - 1) / chunk
+}
+
+// ForBlocks runs fn(block, lo, hi) once per contiguous block of the static
+// schedule, one block per worker — the low-overhead variant of For for
+// memset/copy/count-style loops where a closure call per element would
+// dominate. Block boundaries are deterministic in (n, workers); block
+// indices are dense in [0, NumBlocks(n, workers)).
+func ForBlocks(n, workers int, fn func(block, lo, hi int)) {
+	workers = Workers(workers)
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := blockSize(n, workers)
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for b := 0; b*chunk < n; b++ {
+		lo := b * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			fn(b, lo, hi)
+		}(b, lo, hi)
+	}
+	wg.Wait()
+}
+
+// PrefixSum converts a into its inclusive prefix sum in place
+// (a[i] becomes a[0]+…+a[i]) and returns the total. The parallel schedule
+// is the usual three-phase scan — per-block sums, a sequential scan of the
+// block sums, then a per-block sweep — and integer addition is associative,
+// so the result is bit-identical for every worker count. Small inputs run
+// sequentially; CSR offset construction is the intended caller.
+func PrefixSum(a []int64, workers int) int64 {
+	n := len(a)
+	workers = Workers(workers)
+	if workers == 1 || n < 4096 {
+		var run int64
+		for i := range a {
+			run += a[i]
+			a[i] = run
+		}
+		return run
+	}
+	nb := NumBlocks(n, workers)
+	sums := make([]int64, nb)
+	ForBlocks(n, workers, func(b, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += a[i]
+		}
+		sums[b] = s
+	})
+	var total int64
+	for b := range sums {
+		s := sums[b]
+		sums[b] = total
+		total += s
+	}
+	ForBlocks(n, workers, func(b, lo, hi int) {
+		run := sums[b]
+		for i := lo; i < hi; i++ {
+			run += a[i]
+			a[i] = run
+		}
+	})
+	return total
+}
+
 // ForDynamic runs fn(worker, i) for every i in [0, n) with dynamic
 // chunk-grabbing scheduling: each worker atomically claims the next chunk of
 // the given size. Use for irregular work such as one BFS per sampled source,

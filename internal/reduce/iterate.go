@@ -1,6 +1,8 @@
 package reduce
 
 import (
+	"time"
+
 	"repro/internal/chains"
 	"repro/internal/graph"
 	"repro/internal/redundant"
@@ -16,140 +18,83 @@ import (
 // maxRounds caps the extra rounds (0 means no cap); real graphs converge
 // in 2–4.
 func RunIterative(g *graph.Graph, opts Options, maxRounds int) (*Reduction, error) {
-	red, err := Run(g, opts)
-	if err != nil {
-		return nil, err
-	}
-	if !opts.Chains && !opts.Redundant {
-		return red, nil
-	}
+	return run(g, opts, true, maxRounds)
+}
+
+// rounds iterates the chain and redundant stages until no round removes a
+// node (or maxRounds is hit). Each round reuses the pooled scratch of the
+// first pass — the fixpoint loop allocates nothing beyond the events and
+// the per-round reduced graphs.
+func (p *pipeline) rounds(opts Options, maxRounds int) {
+	t0 := time.Now()
+	defer func() { p.red.Timings.Rounds = time.Since(t0) }()
 	for round := 0; maxRounds == 0 || round < maxRounds; round++ {
 		removed := 0
 		if opts.Chains {
-			removed += contractWeightedChains(red)
+			removed += p.chainRound()
 		}
 		if opts.Redundant {
-			removed += removeRedundantRound(red)
+			removed += p.redundantRound()
 		}
-		red.Stats.ExtraRounds = round + 1
+		p.red.Stats.ExtraRounds = round + 1
 		if removed == 0 {
 			break
 		}
 	}
-	return red, nil
 }
 
-// contractWeightedChains runs one weighted chain round over red.G,
-// appending events and rebuilding the reduced graph. Returns the number of
-// removed nodes.
-func contractWeightedChains(red *Reduction) int {
-	wch := chains.WFind(red.G)
+// chainRound runs one weighted chain round over p.wg, appending events and
+// rebuilding the reduced graph. Returns the number of removed nodes.
+func (p *pipeline) chainRound() int {
+	wch := chains.WFindWorkers(p.wg, p.workers)
 	if wch.WholeGraph || wch.Removed == 0 {
 		return 0
 	}
-	cur := red.G
-	keep := make([]bool, cur.NumNodes())
-	for i := range keep {
-		keep[i] = true
-	}
+	red := p.red
+	stageN := p.wg.NumNodes()
+	keep := p.sc.keepAll(stageN, p.workers)
+	extra := make([]graph.WEdge, 0, len(wch.Chains))
 	for ci := range wch.Chains {
 		c := &wch.Chains[ci]
 		interior := make([]graph.NodeID, len(c.Interior))
 		for i, v := range c.Interior {
 			keep[v] = false
-			interior[i] = red.ToOld[v]
+			interior[i] = p.oldOf(v)
 		}
 		v := graph.NodeID(-1)
 		if c.V >= 0 {
-			v = red.ToOld[c.V]
+			v = p.oldOf(c.V)
 		}
+		// c.Offsets is freshly allocated per chain by WFind; the event
+		// takes ownership rather than copying.
 		red.Events = append(red.Events, &ChainEvent{
-			U:        red.ToOld[c.U],
+			U:        p.oldOf(c.U),
 			V:        v,
 			Interior: interior,
 			Kind:     c.Type,
-			Offsets:  append([]int32(nil), c.Offsets...),
+			Offsets:  c.Offsets,
 			Total:    c.Total,
 		})
 		red.Stats.ChainNodes += len(c.Interior)
 		red.Stats.NumChains++
-	}
-	// Rebuild: kept-kept edges plus contracted parallels.
-	var kept []graph.NodeID
-	toNewLocal := make([]graph.NodeID, cur.NumNodes())
-	for i := range toNewLocal {
-		toNewLocal[i] = -1
-	}
-	for v := 0; v < cur.NumNodes(); v++ {
-		if keep[v] {
-			toNewLocal[v] = graph.NodeID(len(kept))
-			kept = append(kept, graph.NodeID(v))
-		}
-	}
-	b := graph.NewWBuilder(len(kept))
-	cur.Edges(func(u, v graph.NodeID, w int32) {
-		if keep[u] && keep[v] {
-			_ = b.AddEdge(toNewLocal[u], toNewLocal[v], w)
-		}
-	})
-	for ci := range wch.Chains {
-		c := &wch.Chains[ci]
 		if c.Type == chains.Parallel && c.U != c.V {
-			_ = b.AddEdge(toNewLocal[c.U], toNewLocal[c.V], c.Total)
+			extra = append(extra, graph.WEdge{U: c.U, V: c.V, W: c.Total})
 		}
 	}
-	newToOld := make([]graph.NodeID, len(kept))
-	for i, v := range kept {
-		newToOld[i] = red.ToOld[v]
-	}
-	red.G = b.Build()
-	red.ToOld = newToOld
-	red.rebuildToNew()
+	wg := graph.WContractInto(p.wg, keep, p.sc.toNew[:stageN], extra, p.workers)
+	p.compose(stageN, wg.NumNodes())
+	p.wg = wg
 	return wch.Removed
 }
 
-// removeRedundantRound runs one redundant-node round over red.G. Returns
-// the number of removed nodes.
-func removeRedundantRound(red *Reduction) int {
-	rn := redundant.Find(red.G, nil)
+// redundantRound runs one redundant-node round over p.wg. Returns the
+// number of removed nodes.
+func (p *pipeline) redundantRound() int {
+	rn := redundant.FindWorkers(p.wg, nil, p.workers)
 	if len(rn.Nodes) == 0 {
 		return 0
 	}
-	keep := make([]bool, red.G.NumNodes())
-	for i := range keep {
-		keep[i] = true
-	}
-	for i := range rn.Nodes {
-		nd := &rn.Nodes[i]
-		keep[nd.V] = false
-		nbrs := make([]graph.NodeID, len(nd.Nbrs))
-		for j, x := range nd.Nbrs {
-			nbrs[j] = red.ToOld[x]
-		}
-		red.Events = append(red.Events, &RedundantEvent{
-			V:       red.ToOld[nd.V],
-			Nbrs:    nbrs,
-			Weights: append([]int32(nil), nd.Weights...),
-		})
-	}
-	red.Stats.RedundantNodes += len(rn.Nodes)
-	sub, toOld, _ := graph.WSubgraph(red.G, keep)
-	newToOld := make([]graph.NodeID, len(toOld))
-	for i, old := range toOld {
-		newToOld[i] = red.ToOld[old]
-	}
-	red.G = sub
-	red.ToOld = newToOld
-	red.rebuildToNew()
+	p.red.Stats.RedundantNodes += len(rn.Nodes)
+	p.removeRedundant(rn)
 	return len(rn.Nodes)
-}
-
-// rebuildToNew refreshes the inverse map after a round changed ToOld.
-func (r *Reduction) rebuildToNew() {
-	for i := range r.ToNew {
-		r.ToNew[i] = -1
-	}
-	for newID, old := range r.ToOld {
-		r.ToNew[old] = graph.NodeID(newID)
-	}
 }

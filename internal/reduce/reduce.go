@@ -10,11 +10,20 @@
 // anchors an event depends on (nodes that were still alive when the event's
 // nodes were removed) already carry distances: an anchor is either kept —
 // its distance comes from the traversal — or was removed by a later event.
+//
+// The whole pipeline is parallel: stage detection fans out across
+// Options.Workers (twins by hash shard, chains by anchor, redundant tests
+// by node, CSR rebuilds by block) and the per-stage working buffers come
+// from a pooled scratch, yet every worker count produces bit-identical
+// Events, ToOld, ToNew, Stats and G. Only Timings varies run to run.
 package reduce
 
 import (
+	"time"
+
 	"repro/internal/chains"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/redundant"
 	"repro/internal/twins"
 )
@@ -27,6 +36,10 @@ type Options struct {
 	Chains bool
 	// Redundant removes redundant 3/4-degree nodes (Section III-C).
 	Redundant bool
+	// Workers bounds the parallelism of every stage; <1 means GOMAXPROCS.
+	// The result is bit-identical for every worker count (Timings aside) —
+	// the sequential pipeline is simply Workers=1.
+	Workers int
 }
 
 // All enables every stage — the paper's "Cumulative" configuration before
@@ -57,6 +70,18 @@ type Stats struct {
 
 // Removed returns the total number of removed nodes.
 func (s Stats) Removed() int { return s.IdenticalNodes + s.ChainNodes + s.RedundantNodes }
+
+// Timings records the wall-clock time of each preprocessing stage. Purely
+// informational — it is the one field of Reduction outside the determinism
+// contract (Events/ToOld/ToNew/Stats/G are bit-identical across worker
+// counts; Timings varies run to run).
+type Timings struct {
+	Twins     time.Duration
+	Chains    time.Duration
+	Redundant time.Duration
+	// Rounds covers all RunIterative fixpoint rounds together.
+	Rounds time.Duration
+}
 
 // Event is one removal record. Extend recovers the distances of the
 // event's removed nodes into dist (indexed by original node id), reading
@@ -208,6 +233,8 @@ type Reduction struct {
 	Events []Event
 	// Stats summarises the stages.
 	Stats Stats
+	// Timings holds per-stage wall-clock times (informational only).
+	Timings Timings
 }
 
 // NumRemoved returns the number of removed original nodes.
@@ -215,168 +242,241 @@ func (r *Reduction) NumRemoved() int { return r.Orig.NumNodes() - len(r.ToOld) }
 
 // Run executes the pipeline on the connected simple graph g.
 func Run(g *graph.Graph, opts Options) (*Reduction, error) {
+	return run(g, opts, false, 0)
+}
+
+// run is the shared driver behind Run and RunIterative.
+func run(g *graph.Graph, opts Options, iterate bool, maxRounds int) (*Reduction, error) {
 	n := g.NumNodes()
-	red := &Reduction{Orig: g}
-
-	// Identity maps to start with; curToOld maps current-stage ids to
-	// original ids.
-	curToOld := make([]graph.NodeID, n)
-	for i := range curToOld {
-		curToOld[i] = graph.NodeID(i)
+	p := &pipeline{
+		red:     &Reduction{Orig: g},
+		workers: par.Workers(opts.Workers),
+		sc:      getScratch(n),
 	}
+	defer putScratch(p.sc)
 
-	// Stage I: identical nodes, on the simple graph.
-	cur := g
-	if opts.Twins {
-		tw := twins.Find(cur)
-		if len(tw.Groups) > 0 {
-			keep := make([]bool, cur.NumNodes())
-			for i := range keep {
-				keep[i] = true
-			}
-			for _, grp := range tw.Groups {
-				members := make([]graph.NodeID, 0, len(grp.Members)-1)
-				for _, m := range grp.Members[1:] {
-					keep[m] = false
-					members = append(members, curToOld[m])
+	p.stageTwins(g, opts)
+	p.stageChains(opts)
+	p.stageRedundant(opts)
+	if iterate && (opts.Chains || opts.Redundant) {
+		p.rounds(opts, maxRounds)
+	}
+	p.finish(n)
+	return p.red, nil
+}
+
+// pipeline carries the mutable state the stages thread through: the current
+// graph (simple until chain contraction, weighted after), the pooled
+// scratch, and the current-stage→original id map. A nil curToOld is the
+// identity — no stage has shrunk the graph yet — which spares the identity
+// map the old sequential code allocated and filled up front.
+type pipeline struct {
+	red      *Reduction
+	workers  int
+	sc       *scratch
+	curToOld []graph.NodeID // nil = identity; else pooled, len = cur graph size
+	cur      *graph.Graph   // simple graph, valid until stageChains
+	wg       *graph.WGraph  // weighted graph, valid from stageChains on
+}
+
+func (p *pipeline) oldOf(v graph.NodeID) graph.NodeID {
+	if p.curToOld == nil {
+		return v
+	}
+	return p.curToOld[v]
+}
+
+// compose folds the stage-local renumbering sc.toNew[:stageN] into
+// curToOld, writing the next stage→original map into the spare pooled
+// buffer (the two map buffers alternate, so the source is never the
+// destination).
+func (p *pipeline) compose(stageN, kept int) {
+	next := p.sc.nextMap(kept)
+	toNew := p.sc.toNew
+	if cur := p.curToOld; cur != nil {
+		par.ForBlocks(stageN, p.workers, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if nv := toNew[v]; nv >= 0 {
+					next[nv] = cur[v]
 				}
-				red.Events = append(red.Events, &TwinEvent{
-					Rep:       curToOld[grp.Rep()],
-					Members:   members,
-					GroupDist: grp.Dist(),
-				})
 			}
-			red.Stats.IdenticalNodes = tw.Removed
-			red.Stats.TwinGroups = len(tw.Groups)
-			sub, toOld, _ := graph.Subgraph(cur, keep)
-			newToOld := make([]graph.NodeID, len(toOld))
-			for i, old := range toOld {
-				newToOld[i] = curToOld[old]
+		})
+	} else {
+		par.ForBlocks(stageN, p.workers, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if nv := toNew[v]; nv >= 0 {
+					next[nv] = graph.NodeID(v)
+				}
 			}
-			cur, curToOld = sub, newToOld
-		}
+		})
 	}
+	p.curToOld = next
+}
 
-	// Stage C: chain contraction, on the (twin-reduced) simple graph.
-	// The contracted result is weighted from here on.
-	var wg *graph.WGraph
-	ch := (*chains.Result)(nil)
+// stageTwins removes identical nodes from the simple graph.
+func (p *pipeline) stageTwins(g *graph.Graph, opts Options) {
+	p.cur = g
+	if !opts.Twins {
+		return
+	}
+	t0 := time.Now()
+	defer func() { p.red.Timings.Twins = time.Since(t0) }()
+	tw := twins.FindWorkers(p.cur, p.workers)
+	if len(tw.Groups) == 0 {
+		return
+	}
+	red := p.red
+	stageN := p.cur.NumNodes()
+	keep := p.sc.keepAll(stageN, p.workers)
+	for _, grp := range tw.Groups {
+		members := make([]graph.NodeID, 0, len(grp.Members)-1)
+		for _, m := range grp.Members[1:] {
+			keep[m] = false
+			members = append(members, p.oldOf(m))
+		}
+		red.Events = append(red.Events, &TwinEvent{
+			Rep:       p.oldOf(grp.Rep()),
+			Members:   members,
+			GroupDist: grp.Dist(),
+		})
+	}
+	red.Stats.IdenticalNodes = tw.Removed
+	red.Stats.TwinGroups = len(tw.Groups)
+	sub := graph.SubgraphInto(p.cur, keep, p.sc.toNew[:stageN], p.workers)
+	p.compose(stageN, sub.NumNodes())
+	p.cur = sub
+}
+
+// stageChains contracts chains of the (twin-reduced) simple graph; the
+// pipeline is weighted from here on.
+func (p *pipeline) stageChains(opts Options) {
+	var ch *chains.Result
 	if opts.Chains {
-		ch = chains.Find(cur)
+		t0 := time.Now()
+		defer func() { p.red.Timings.Chains = time.Since(t0) }()
+		ch = chains.FindWorkers(p.cur, p.workers)
 		// A graph that is (or became, after twin removal) a pure path or
 		// cycle has no anchor to hang chains from; skip the stage and
 		// leave the degree-≤2 nodes in place. Callers answer the original
-		// pure path/cycle case in closed form before reducing.
-		if ch.WholeGraph {
+		// pure path/cycle case in closed form before reducing. An
+		// anchored graph with zero chains likewise has nothing to do.
+		if ch.WholeGraph || len(ch.Chains) == 0 {
 			ch = nil
 		}
 	}
-	if ch != nil {
-		red.Stats.NumChains = len(ch.Chains)
-		red.Stats.ChainNodes = ch.Removed
-		identical := classifyIdentical(cur, ch.Chains)
-		keep := make([]bool, cur.NumNodes())
-		for i := range keep {
-			keep[i] = true
+	if ch == nil {
+		p.wg = p.cur.ToWeighted()
+		p.cur = nil
+		return
+	}
+	red := p.red
+	red.Stats.NumChains = len(ch.Chains)
+	red.Stats.ChainNodes = ch.Removed
+	identical := classifyIdentical(p.cur, ch.Chains)
+	stageN := p.cur.NumNodes()
+	keep := p.sc.keepAll(stageN, p.workers)
+	extra := make([]graph.WEdge, 0, len(ch.Chains))
+	for ci := range ch.Chains {
+		c := &ch.Chains[ci]
+		interior := make([]graph.NodeID, len(c.Interior))
+		for i, v := range c.Interior {
+			keep[v] = false
+			interior[i] = p.oldOf(v)
 		}
-		for ci := range ch.Chains {
-			c := &ch.Chains[ci]
-			interior := make([]graph.NodeID, len(c.Interior))
-			for i, v := range c.Interior {
-				keep[v] = false
-				interior[i] = curToOld[v]
-			}
-			v := graph.NodeID(-1)
-			if c.V >= 0 {
-				v = curToOld[c.V]
-			}
-			ev := &ChainEvent{
-				U:         curToOld[c.U],
-				V:         v,
-				Interior:  interior,
-				Kind:      c.Type,
-				Identical: identical[ci],
-			}
-			if identical[ci] {
-				red.Stats.IdenticalChainNodes += len(interior)
-			}
-			red.Events = append(red.Events, ev)
+		v := graph.NodeID(-1)
+		if c.V >= 0 {
+			v = p.oldOf(c.V)
 		}
-		// Build the contracted weighted graph over the kept nodes.
-		var kept []graph.NodeID
-		toNewLocal := make([]graph.NodeID, cur.NumNodes())
-		for i := range toNewLocal {
-			toNewLocal[i] = -1
+		ev := &ChainEvent{
+			U:         p.oldOf(c.U),
+			V:         v,
+			Interior:  interior,
+			Kind:      c.Type,
+			Identical: identical[ci],
 		}
-		for v := 0; v < cur.NumNodes(); v++ {
-			if keep[v] {
-				toNewLocal[v] = graph.NodeID(len(kept))
-				kept = append(kept, graph.NodeID(v))
-			}
+		if identical[ci] {
+			red.Stats.IdenticalChainNodes += len(interior)
 		}
-		b := graph.NewWBuilder(len(kept))
-		cur.Edges(func(u, v graph.NodeID) {
-			if keep[u] && keep[v] {
-				_ = b.AddEdge(toNewLocal[u], toNewLocal[v], 1)
+		red.Events = append(red.Events, ev)
+		if c.Type == chains.Parallel && c.U != c.V {
+			extra = append(extra, graph.WEdge{U: c.U, V: c.V, W: c.EdgeWeight()})
+		}
+	}
+	wg := graph.ContractInto(p.cur, keep, p.sc.toNew[:stageN], extra, p.workers)
+	p.compose(stageN, wg.NumNodes())
+	p.wg = wg
+	p.cur = nil
+}
+
+// stageRedundant removes redundant 3/4-degree nodes from the weighted graph.
+func (p *pipeline) stageRedundant(opts Options) {
+	if !opts.Redundant {
+		return
+	}
+	t0 := time.Now()
+	defer func() { p.red.Timings.Redundant = time.Since(t0) }()
+	rn := redundant.FindWorkers(p.wg, nil, p.workers)
+	if len(rn.Nodes) == 0 {
+		return
+	}
+	p.red.Stats.RedundantNodes = len(rn.Nodes)
+	p.removeRedundant(rn)
+}
+
+// removeRedundant appends events for rn's nodes and rebuilds p.wg without
+// them; shared by the first pass and the fixpoint rounds. rn's Nbrs and
+// Weights slices are freshly allocated per node by redundant.Find, so the
+// events take ownership instead of re-copying.
+func (p *pipeline) removeRedundant(rn *redundant.Result) {
+	red := p.red
+	stageN := p.wg.NumNodes()
+	keep := p.sc.keepAll(stageN, p.workers)
+	for i := range rn.Nodes {
+		nd := &rn.Nodes[i]
+		keep[nd.V] = false
+		nbrs := make([]graph.NodeID, len(nd.Nbrs))
+		for j, x := range nd.Nbrs {
+			nbrs[j] = p.oldOf(x)
+		}
+		red.Events = append(red.Events, &RedundantEvent{
+			V:       p.oldOf(nd.V),
+			Nbrs:    nbrs,
+			Weights: nd.Weights,
+		})
+	}
+	sub := graph.WSubgraphInto(p.wg, keep, p.sc.toNew[:stageN], p.workers)
+	p.compose(stageN, sub.NumNodes())
+	p.wg = sub
+}
+
+// finish materialises the caller-owned ToOld/ToNew from the pooled map and
+// hands over the reduced graph.
+func (p *pipeline) finish(n int) {
+	red := p.red
+	red.G = p.wg
+	kept := p.wg.NumNodes()
+	red.ToOld = make([]graph.NodeID, kept)
+	if p.curToOld == nil {
+		par.ForBlocks(kept, p.workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				red.ToOld[i] = graph.NodeID(i)
 			}
 		})
-		for ci := range ch.Chains {
-			c := &ch.Chains[ci]
-			if c.Type == chains.Parallel && c.U != c.V {
-				_ = b.AddEdge(toNewLocal[c.U], toNewLocal[c.V], c.EdgeWeight())
-			}
-		}
-		wg = b.Build()
-		newToOld := make([]graph.NodeID, len(kept))
-		for i, v := range kept {
-			newToOld[i] = curToOld[v]
-		}
-		curToOld = newToOld
 	} else {
-		wg = cur.ToWeighted()
+		copy(red.ToOld, p.curToOld)
 	}
-
-	// Stage R: redundant 3/4-degree nodes, on the weighted graph.
-	if opts.Redundant {
-		rn := redundant.Find(wg, nil)
-		if len(rn.Nodes) > 0 {
-			red.Stats.RedundantNodes = len(rn.Nodes)
-			keep := make([]bool, wg.NumNodes())
-			for i := range keep {
-				keep[i] = true
-			}
-			for i := range rn.Nodes {
-				nd := &rn.Nodes[i]
-				keep[nd.V] = false
-				nbrs := make([]graph.NodeID, len(nd.Nbrs))
-				for j, x := range nd.Nbrs {
-					nbrs[j] = curToOld[x]
-				}
-				red.Events = append(red.Events, &RedundantEvent{
-					V:       curToOld[nd.V],
-					Nbrs:    nbrs,
-					Weights: append([]int32(nil), nd.Weights...),
-				})
-			}
-			sub, toOld, _ := graph.WSubgraph(wg, keep)
-			newToOld := make([]graph.NodeID, len(toOld))
-			for i, old := range toOld {
-				newToOld[i] = curToOld[old]
-			}
-			wg, curToOld = sub, newToOld
-		}
-	}
-
-	red.G = wg
-	red.ToOld = curToOld
 	red.ToNew = make([]graph.NodeID, n)
-	for i := range red.ToNew {
-		red.ToNew[i] = -1
-	}
-	for newID, old := range curToOld {
-		red.ToNew[old] = graph.NodeID(newID)
-	}
-	return red, nil
+	toOld, toNew := red.ToOld, red.ToNew
+	par.ForBlocks(n, p.workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			toNew[i] = -1
+		}
+	})
+	par.ForBlocks(kept, p.workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			toNew[toOld[i]] = graph.NodeID(i)
+		}
+	})
 }
 
 // classifyIdentical marks Type-4 chains: Parallel chains sharing both

@@ -23,6 +23,7 @@ package redundant
 
 import (
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Node records one removed redundant node together with the neighbour list
@@ -65,19 +66,40 @@ const MaxDegree = 4
 
 // Find detects an independent set of redundant nodes of degree 3..MaxDegree
 // in the weighted graph g. Nodes listed in `protected` (e.g. nodes another
-// stage already depends on) are never marked.
-func Find(g *graph.WGraph, protected []bool) *Result {
+// stage already depends on) are never marked. Find is FindWorkers at one
+// worker — every worker count yields the same Result.
+func Find(g *graph.WGraph, protected []bool) *Result { return FindWorkers(g, protected, 1) }
+
+// FindWorkers splits detection into two phases: the expensive per-node
+// local test (the neighbourhood Floyd–Warshall plus 2-connectivity check)
+// is embarrassingly parallel and runs over all candidates at once, then a
+// cheap sequential greedy sweep in ascending id order selects the
+// independent set — the same set the one-pass sequential scan picks,
+// because the local test never depends on the marks. Bit-identical output
+// for every worker count.
+func FindWorkers(g *graph.WGraph, protected []bool, workers int) *Result {
 	n := g.NumNodes()
+	workers = par.Workers(workers)
 	res := &Result{Marked: make([]bool, n)}
+	cand := make([]bool, n)
+	par.ForBlocks(n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			id := graph.NodeID(v)
+			deg := g.Degree(id)
+			if deg < 3 || deg > MaxDegree {
+				continue
+			}
+			if protected != nil && protected[v] {
+				continue
+			}
+			cand[v] = isRedundant(g, id)
+		}
+	})
 	for v := 0; v < n; v++ {
+		if !cand[v] {
+			continue
+		}
 		id := graph.NodeID(v)
-		deg := g.Degree(id)
-		if deg < 3 || deg > MaxDegree {
-			continue
-		}
-		if protected != nil && protected[v] {
-			continue
-		}
 		// Independence: skip if any neighbour is already marked.
 		nbrs := g.Neighbors(id)
 		skip := false
@@ -87,17 +109,15 @@ func Find(g *graph.WGraph, protected []bool) *Result {
 				break
 			}
 		}
-		if skip || !isRedundant(g, id) {
+		if skip {
 			continue
 		}
 		res.Marked[v] = true
-		ws := g.Weights(id)
-		node := Node{
+		res.Nodes = append(res.Nodes, Node{
 			V:       id,
 			Nbrs:    append([]graph.NodeID(nil), nbrs...),
-			Weights: append([]int32(nil), ws...),
-		}
-		res.Nodes = append(res.Nodes, node)
+			Weights: append([]int32(nil), g.Weights(id)...),
+		})
 	}
 	return res
 }

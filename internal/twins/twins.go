@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Kind distinguishes the two twin relations.
@@ -165,73 +166,122 @@ func sameClosed(g *graph.Graph, u, v graph.NodeID) bool {
 // Find detects all twin groups of g. Nodes of degree 0 are ignored (the
 // pipeline operates on connected graphs where they cannot occur). Each node
 // joins at most one group; open grouping takes precedence, matching the
-// paper's single identical-nodes pass.
-func Find(g *graph.Graph) *Result {
+// paper's single identical-nodes pass. Find is FindWorkers at one worker —
+// every worker count yields the same Result.
+func Find(g *graph.Graph) *Result { return FindWorkers(g, 1) }
+
+// FindWorkers is Find with the neighbourhood hashing and candidate
+// verification spread over the given number of workers (<1 means
+// GOMAXPROCS). Per-node hashes are computed in a data-parallel pass, the
+// hash space is sharded across workers (each shard buckets and verifies its
+// own candidates — groups are exact-equality classes, so their membership
+// does not depend on discovery order), and the merged groups are sorted by
+// representative. The output is bit-identical for every worker count:
+// groups listed open-pass first, each pass sorted by representative,
+// members ascending.
+func FindWorkers(g *graph.Graph, workers int) *Result {
 	n := g.NumNodes()
+	workers = par.Workers(workers)
 	res := &Result{
 		RepOf:   make([]graph.NodeID, n),
 		GroupOf: make([]int32, n),
 	}
-	for v := 0; v < n; v++ {
-		res.RepOf[v] = graph.NodeID(v)
-		res.GroupOf[v] = -1
-	}
-	assigned := make([]bool, n)
-
-	collect := func(kind Kind) {
-		buckets := make(map[uint64][]graph.NodeID, n)
-		for v := 0; v < n; v++ {
-			if assigned[v] || g.Degree(graph.NodeID(v)) == 0 {
-				continue
-			}
-			var h uint64
-			if kind == Open {
-				h = hashList(g.Neighbors(graph.NodeID(v)), -1)
-			} else {
-				h = hashList(g.Neighbors(graph.NodeID(v)), graph.NodeID(v))
-			}
-			buckets[h] = append(buckets[h], graph.NodeID(v))
+	par.ForBlocks(n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			res.RepOf[v] = graph.NodeID(v)
+			res.GroupOf[v] = -1
 		}
-		for _, cand := range buckets {
-			if len(cand) < 2 {
-				continue
-			}
-			sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
-			used := make([]bool, len(cand))
-			for i := 0; i < len(cand); i++ {
-				if used[i] || assigned[cand[i]] {
+	})
+	assigned := make([]bool, n)
+	hashes := make([]uint64, n)
+
+	// collect finds the canonical equality groups of one pass: hash every
+	// live node, shard candidates by hash across workers, verify each
+	// bucket by exact list comparison, then order the discovered groups by
+	// representative. assigned is read-only here; apply() commits a pass.
+	collect := func(kind Kind) []Group {
+		par.ForBlocks(n, workers, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if assigned[v] || g.Degree(graph.NodeID(v)) == 0 {
 					continue
 				}
-				members := []graph.NodeID{cand[i]}
-				for j := i + 1; j < len(cand); j++ {
-					if used[j] || assigned[cand[j]] {
-						continue
-					}
-					var eq bool
-					if kind == Open {
-						eq = sameOpen(g, cand[i], cand[j])
-					} else {
-						eq = sameClosed(g, cand[i], cand[j])
-					}
-					if eq {
-						members = append(members, cand[j])
-						used[j] = true
-					}
-				}
-				if len(members) >= 2 {
-					gi := int32(len(res.Groups))
-					res.Groups = append(res.Groups, Group{Members: members, Kind: kind})
-					for _, m := range members {
-						assigned[m] = true
-						res.GroupOf[m] = gi
-						res.RepOf[m] = members[0]
-					}
-					res.Removed += len(members) - 1
+				if kind == Open {
+					hashes[v] = hashList(g.Neighbors(graph.NodeID(v)), -1)
+				} else {
+					hashes[v] = hashList(g.Neighbors(graph.NodeID(v)), graph.NodeID(v))
 				}
 			}
+		})
+		shards := workers
+		perShard := make([][]Group, shards)
+		par.For(shards, workers, func(s int) {
+			buckets := make(map[uint64][]graph.NodeID)
+			for v := 0; v < n; v++ {
+				if assigned[v] || g.Degree(graph.NodeID(v)) == 0 {
+					continue
+				}
+				h := hashes[v]
+				if int(h%uint64(shards)) != s {
+					continue
+				}
+				buckets[h] = append(buckets[h], graph.NodeID(v))
+			}
+			var local []Group
+			for _, cand := range buckets {
+				if len(cand) < 2 {
+					continue
+				}
+				sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+				used := make([]bool, len(cand))
+				for i := 0; i < len(cand); i++ {
+					if used[i] {
+						continue
+					}
+					members := []graph.NodeID{cand[i]}
+					for j := i + 1; j < len(cand); j++ {
+						if used[j] {
+							continue
+						}
+						var eq bool
+						if kind == Open {
+							eq = sameOpen(g, cand[i], cand[j])
+						} else {
+							eq = sameClosed(g, cand[i], cand[j])
+						}
+						if eq {
+							members = append(members, cand[j])
+							used[j] = true
+						}
+					}
+					if len(members) >= 2 {
+						local = append(local, Group{Members: members, Kind: kind})
+					}
+				}
+			}
+			perShard[s] = local
+		})
+		var groups []Group
+		for _, local := range perShard {
+			groups = append(groups, local...)
+		}
+		sort.Slice(groups, func(i, j int) bool { return groups[i].Members[0] < groups[j].Members[0] })
+		return groups
+	}
+
+	apply := func(groups []Group) {
+		for _, grp := range groups {
+			gi := int32(len(res.Groups))
+			res.Groups = append(res.Groups, grp)
+			for _, m := range grp.Members {
+				assigned[m] = true
+				res.GroupOf[m] = gi
+				res.RepOf[m] = grp.Members[0]
+			}
+			res.Removed += len(grp.Members) - 1
 		}
 	}
-	collect(Open)
-	collect(Closed)
+
+	apply(collect(Open))
+	apply(collect(Closed))
 	return res
 }
