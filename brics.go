@@ -31,6 +31,7 @@
 package brics
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -142,6 +143,30 @@ type RunStats = core.RunStats
 // count produces identical results.
 func Estimate(g *Graph, opts Options) (*Result, error) { return core.Estimate(g, opts) }
 
+// ErrCanceled is wrapped by every error returned from a context-aware run
+// (EstimateContext and friends) that stopped because its context fired.
+// Callers can test the cause with the standard errors package:
+//
+//	res, err := brics.EstimateContext(ctx, g, opts)
+//	if errors.Is(err, brics.ErrCanceled) {
+//		// the run was abandoned; res is nil and no partial values leak
+//	}
+//
+// The context's own cause is wrapped too, so errors.Is(err,
+// context.Canceled) and errors.Is(err, context.DeadlineExceeded) also work.
+var ErrCanceled = core.ErrCanceled
+
+// EstimateContext is Estimate with cooperative cancellation. The run checks
+// ctx between pipeline stages (reduction rounds, decomposition, traversal,
+// aggregation), between traversal sources, and inside long traversals at
+// frontier granularity, so cancellation latency is bounded by a slice of
+// one BFS level rather than a whole run. A canceled run returns a nil
+// Result and an ErrCanceled-wrapping error; a run whose context never fires
+// returns bit-identical output to Estimate with the same options.
+func EstimateContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	return core.EstimateContext(ctx, g, opts)
+}
+
 // ExactFarness computes exact farness for every node with one parallel
 // traversal per node — the ground truth, O(n·m) work.
 func ExactFarness(g *Graph, workers int) []float64 { return core.ExactFarness(g, workers) }
@@ -207,6 +232,12 @@ func TopKCloseness(g *Graph, k int, opts TopKOptions) (*TopKResult, error) {
 	return topk.Closeness(g, k, opts)
 }
 
+// TopKClosenessContext is TopKCloseness with cooperative cancellation (see
+// EstimateContext for the semantics).
+func TopKClosenessContext(ctx context.Context, g *Graph, k int, opts TopKOptions) (*TopKResult, error) {
+	return topk.ClosenessContext(ctx, g, k, opts)
+}
+
 // DynamicIndex maintains exact farness values under edge insertions and
 // deletions (the paper's "dynamic setting" future work): 2 + |affected|
 // traversals per update instead of n.
@@ -228,6 +259,13 @@ type AdaptiveResult = core.AdaptiveResult
 // automatically.
 func EstimateAdaptive(g *Graph, opts AdaptiveOptions) (*AdaptiveResult, error) {
 	return core.EstimateAdaptive(g, opts)
+}
+
+// EstimateAdaptiveContext is EstimateAdaptive with cooperative cancellation
+// (see EstimateContext for the semantics); ctx is threaded into every
+// escalation round.
+func EstimateAdaptiveContext(ctx context.Context, g *Graph, opts AdaptiveOptions) (*AdaptiveResult, error) {
+	return core.EstimateAdaptiveContext(ctx, g, opts)
 }
 
 // Betweenness computes exact betweenness centrality (Brandes) for every

@@ -1,22 +1,32 @@
 // Command bricsd serves farness/closeness centrality over HTTP: estimates
-// (cached per option set), verified top-k queries, and exact dynamic edge
-// updates. See internal/server for the endpoint reference.
+// (cached per option set, deduplicated across identical concurrent
+// requests), verified top-k queries, and exact dynamic edge updates. See
+// internal/server for the endpoint reference and robustness model.
 //
 //	bricsd -input graph.txt -addr :8080
-//	bricsd -dataset usroads
+//	bricsd -dataset usroads -inflight 2 -timeout 10s
 //
 //	curl localhost:8080/v1/farness/42?fraction=0.2
-//	curl -X POST localhost:8080/v1/estimate -d '{"techniques":"BRIC","fraction":0.2}'
+//	curl -X POST localhost:8080/v1/estimate?timeout=5s -d '{"techniques":"BRIC","fraction":0.2}'
 //	curl localhost:8080/v1/topk?k=10
 //	curl -X POST localhost:8080/v1/edges -d '{"u":1,"v":2}'
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: /readyz flips to 503 so
+// load balancers stop routing, in-flight requests get -drain to finish, and
+// whatever is still running is then canceled through the estimation stack's
+// cooperative cancellation before the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/gen"
@@ -27,11 +37,15 @@ import (
 
 func main() {
 	var (
-		input   = flag.String("input", "", "input graph file (SNAP edge list or .mtx, optionally .gz)")
-		dataset = flag.String("dataset", "", "synthetic dataset name instead of -input")
-		scale   = flag.Float64("scale", 1.0, "synthetic dataset scale factor")
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		input      = flag.String("input", "", "input graph file (SNAP edge list or .mtx, optionally .gz)")
+		dataset    = flag.String("dataset", "", "synthetic dataset name instead of -input")
+		scale      = flag.Float64("scale", 1.0, "synthetic dataset scale factor")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "worker goroutines per estimation run (0 = GOMAXPROCS)")
+		inflight   = flag.Int("inflight", 4, "max simultaneous estimation runs; excess requests get 429")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request estimation deadline (override per request with ?timeout=)")
+		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested ?timeout= deadlines")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight requests")
 	)
 	flag.Parse()
 
@@ -61,7 +75,12 @@ func main() {
 
 	log.Printf("building exact index over %d nodes, %d edges ...", g.NumNodes(), g.NumEdges())
 	start := time.Now()
-	s, err := server.New(g, *workers)
+	s, err := server.NewWithConfig(g, server.Config{
+		Workers:        *workers,
+		MaxInflight:    *inflight,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bricsd:", err)
 		os.Exit(1)
@@ -72,8 +91,35 @@ func main() {
 		Addr:              *addr,
 		Handler:           s,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		// Responses stream after estimation completes; allow the longest
+		// permitted run plus margin before the connection is cut.
+		WriteTimeout: *maxTimeout + 15*time.Second,
+		IdleTimeout:  60 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutdown signal received; draining for up to %v", *drain)
+	s.SetReady(false) // /readyz → 503: stop new traffic at the balancer
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v; aborting in-flight estimations", err)
+	}
+	s.Close() // cancel whatever outlived the grace period
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	log.Printf("shutdown complete")
 }

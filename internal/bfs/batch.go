@@ -1,6 +1,8 @@
 package bfs
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/par"
 )
@@ -41,23 +43,29 @@ func numBatches(k int) int { return (k + MSBFSWidth - 1) / MSBFSWidth }
 // runBatches is the shared fan-out: split sources into ≤64-wide batches,
 // hand batches to workers with dynamic scheduling (batch costs vary with
 // how much the lanes' frontiers overlap), and run sweep+handle per batch
-// on the worker's own scratch.
-func runBatches(n int, sources []graph.NodeID, workers int, maxWeight int32,
+// on the worker's own scratch. Cancellation lands at two granularities:
+// workers stop claiming batches once ctx is done, and the running sweep's
+// kernel bails at its next frontier level (the scratch carries ctx.Done()).
+// A non-nil error means the handler may have seen only a subset of batches
+// and the caller must discard its accumulation.
+func runBatches(ctx context.Context, n int, sources []graph.NodeID, workers int, maxWeight int32,
 	sweep func(s *batchScratch, batch []graph.NodeID, rows [][]int32),
-	handle BatchHandler) {
+	handle BatchHandler) error {
 	if len(sources) == 0 {
-		return
+		return par.CtxErr(ctx)
 	}
 	nb := numBatches(len(sources))
 	workers = par.Workers(workers)
 	if workers > nb {
 		workers = nb
 	}
+	done := ctx.Done()
 	scratch := make([]*batchScratch, workers)
 	for i := range scratch {
 		scratch[i] = newBatchScratch(n, maxWeight)
+		scratch[i].ms.SetDone(done)
 	}
-	par.ForDynamic(nb, workers, 1, func(worker, bi int) {
+	return par.ForDynamicCtx(ctx, nb, workers, 1, func(worker, bi int) {
 		base := bi * MSBFSWidth
 		hi := base + MSBFSWidth
 		if hi > len(sources) {
@@ -67,6 +75,9 @@ func runBatches(n int, sources []graph.NodeID, workers int, maxWeight int32,
 		s := scratch[worker]
 		rows := s.rows[:len(batch)]
 		sweep(s, batch, rows)
+		if par.Interrupted(done) {
+			return // rows are partial; don't hand them to the accumulator
+		}
 		handle(worker, base, batch, rows)
 	})
 }
@@ -77,8 +88,17 @@ func runBatches(n int, sources []graph.NodeID, workers int, maxWeight int32,
 // distance slab) is allocated once and reused across batches. This is the
 // batched engine behind the estimators' TraversalBatched mode.
 func RunBatches(g *graph.Graph, sources []graph.NodeID, workers int, handle BatchHandler) {
+	_ = RunBatchesCtx(context.Background(), g, sources, workers, handle)
+}
+
+// RunBatchesCtx is RunBatches with cooperative cancellation: workers stop
+// claiming batches once ctx is done and in-flight sweeps bail at their next
+// frontier level. On a non-nil (par.ErrCanceled-wrapping) return the handler
+// may have seen only a subset of batches; callers discard their
+// accumulation.
+func RunBatchesCtx(ctx context.Context, g *graph.Graph, sources []graph.NodeID, workers int, handle BatchHandler) error {
 	n := g.NumNodes()
-	runBatches(n, sources, workers, 1, func(s *batchScratch, batch []graph.NodeID, rows [][]int32) {
+	return runBatches(ctx, n, sources, workers, 1, func(s *batchScratch, batch []graph.NodeID, rows [][]int32) {
 		for lane := range batch {
 			Fill(rows[lane])
 		}
@@ -95,10 +115,16 @@ func RunBatches(g *graph.Graph, sources []graph.NodeID, workers int, handle Batc
 // Dial fallback beyond MSMaxBucketWeight — the handler sees identical
 // batch/rows shapes either way.
 func RunBatchesW(g *graph.WGraph, sources []graph.NodeID, workers int, handle BatchHandler) {
+	_ = RunBatchesWCtx(context.Background(), g, sources, workers, handle)
+}
+
+// RunBatchesWCtx is RunBatchesW with cooperative cancellation (see
+// RunBatchesCtx for the contract).
+func RunBatchesWCtx(ctx context.Context, g *graph.WGraph, sources []graph.NodeID, workers int, handle BatchHandler) error {
 	n := g.NumNodes()
 	unweighted := g.Unweighted()
 	maxW := g.MaxWeight()
-	runBatches(n, sources, workers, maxW, func(s *batchScratch, batch []graph.NodeID, rows [][]int32) {
+	return runBatches(ctx, n, sources, workers, maxW, func(s *batchScratch, batch []graph.NodeID, rows [][]int32) {
 		MultiSourceWRows(g, unweighted, batch, s.ms, rows)
 	}, handle)
 }

@@ -8,6 +8,7 @@ package bfs
 import (
 	"repro/internal/bitset"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/queue"
 )
 
@@ -22,10 +23,23 @@ func Fill(dist []int32) {
 	}
 }
 
+// interruptEvery is how many queue pops a per-source kernel processes
+// between polls of its done channel. Coarse enough that the poll vanishes in
+// the edge-scan cost, fine enough that cancellation lands within a fraction
+// of a millisecond even on large graphs.
+const interruptEvery = 2048
+
 // Distances runs a BFS from src over g, filling dist with hop counts
 // (Unreached for unreachable nodes). dist must have length g.NumNodes().
 // The scratch queue may be nil, in which case one is allocated.
 func Distances(g *graph.Graph, src graph.NodeID, dist []int32, q *queue.FIFO) {
+	distancesDone(g, src, dist, q, nil)
+}
+
+// distancesDone is the BFS kernel with an optional interruption channel: a
+// nil done never interrupts; a fired done makes the kernel return early,
+// leaving dist partial (callers discard it).
+func distancesDone(g *graph.Graph, src graph.NodeID, dist []int32, q *queue.FIFO, done <-chan struct{}) {
 	Fill(dist)
 	if q == nil {
 		q = queue.NewFIFO(g.NumNodes())
@@ -34,7 +48,14 @@ func Distances(g *graph.Graph, src graph.NodeID, dist []int32, q *queue.FIFO) {
 	}
 	dist[src] = 0
 	q.Push(src)
+	budget := interruptEvery
 	for !q.Empty() {
+		if budget--; budget == 0 {
+			if par.Interrupted(done) {
+				return
+			}
+			budget = interruptEvery
+		}
 		u := q.Pop()
 		du := dist[u]
 		for _, v := range g.Neighbors(u) {
@@ -69,6 +90,12 @@ func NewScratch(n int, maxWeight int32) *Scratch {
 // dist must have length g.NumNodes(); b must have been created with at least
 // the graph's maximum edge weight.
 func WDistances(g *graph.WGraph, src graph.NodeID, dist []int32, b *queue.Bucket) {
+	wDistancesDone(g, src, dist, b, nil)
+}
+
+// wDistancesDone is the Dial kernel with an optional interruption channel
+// (see distancesDone).
+func wDistancesDone(g *graph.WGraph, src graph.NodeID, dist []int32, b *queue.Bucket, done <-chan struct{}) {
 	Fill(dist)
 	if b == nil {
 		b = queue.NewBucket(g.MaxWeight())
@@ -77,7 +104,14 @@ func WDistances(g *graph.WGraph, src graph.NodeID, dist []int32, b *queue.Bucket
 	}
 	dist[src] = 0
 	b.Push(src, 0)
+	budget := interruptEvery
 	for !b.Empty() {
+		if budget--; budget == 0 {
+			if par.Interrupted(done) {
+				return
+			}
+			budget = interruptEvery
+		}
 		u, du := b.Pop()
 		if dist[u] != du {
 			continue // stale entry superseded by a shorter path
@@ -97,6 +131,10 @@ func WDistances(g *graph.WGraph, src graph.NodeID, dist []int32, b *queue.Bucket
 // WDistancesBFS runs plain BFS over a weighted graph whose weights are all
 // 1; callers guarantee the precondition (see graph.WGraph.Unweighted).
 func WDistancesBFS(g *graph.WGraph, src graph.NodeID, dist []int32, q *queue.FIFO) {
+	wDistancesBFSDone(g, src, dist, q, nil)
+}
+
+func wDistancesBFSDone(g *graph.WGraph, src graph.NodeID, dist []int32, q *queue.FIFO, done <-chan struct{}) {
 	Fill(dist)
 	if q == nil {
 		q = queue.NewFIFO(g.NumNodes())
@@ -105,7 +143,14 @@ func WDistancesBFS(g *graph.WGraph, src graph.NodeID, dist []int32, q *queue.FIF
 	}
 	dist[src] = 0
 	q.Push(src)
+	budget := interruptEvery
 	for !q.Empty() {
+		if budget--; budget == 0 {
+			if par.Interrupted(done) {
+				return
+			}
+			budget = interruptEvery
+		}
 		u := q.Pop()
 		du := dist[u]
 		for _, v := range g.Neighbors(u) {
@@ -120,10 +165,14 @@ func WDistancesBFS(g *graph.WGraph, src graph.NodeID, dist []int32, q *queue.FIF
 // WDistancesAuto dispatches to BFS when the graph is unweighted (detected
 // once by the caller and passed in) and Dial otherwise.
 func WDistancesAuto(g *graph.WGraph, unweighted bool, src graph.NodeID, s *Scratch) {
+	wDistancesAutoDone(g, unweighted, src, s, nil)
+}
+
+func wDistancesAutoDone(g *graph.WGraph, unweighted bool, src graph.NodeID, s *Scratch, done <-chan struct{}) {
 	if unweighted {
-		WDistancesBFS(g, src, s.Dist, s.Q)
+		wDistancesBFSDone(g, src, s.Dist, s.Q, done)
 	} else {
-		WDistances(g, src, s.Dist, s.B)
+		wDistancesDone(g, src, s.Dist, s.B, done)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/queue"
 )
 
@@ -29,7 +30,18 @@ type MSScratch struct {
 	// range; allocated lazily, regrown when a wider graph shows up.
 	fb     *queue.Bucket
 	fbMaxW int32
+	// done, when non-nil, interrupts sweeps at frontier-level boundaries;
+	// see SetDone.
+	done <-chan struct{}
 }
+
+// SetDone installs an interruption channel (typically a ctx.Done()) polled by
+// every kernel using this scratch at each frontier level or bucket drain.
+// When the channel fires a sweep returns early with partial output, which
+// callers must discard — the ctx-aware batch drivers do this by returning
+// par.ErrCanceled from the whole fan-out. A nil channel (the default)
+// disables interruption.
+func (s *MSScratch) SetDone(done <-chan struct{}) { s.done = done }
 
 // msEntry is one pending bucket-queue item: the lanes in mask may reach v at
 // the bucket's distance.
@@ -112,6 +124,9 @@ func MultiSourceInto(g *graph.Graph, sources []graph.NodeID, s *MSScratch, visit
 
 	touched := s.touched[:0]
 	for d := int32(1); len(frontier) > 0; d++ {
+		if par.Interrupted(s.done) {
+			break
+		}
 		touched = touched[:0]
 		for _, u := range frontier {
 			m := cur[u]

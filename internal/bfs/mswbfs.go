@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/queue"
 )
 
@@ -68,6 +69,9 @@ func MultiSourceWInto(g *graph.WGraph, sources []graph.NodeID, s *MSScratch, vis
 		entries := s.buckets[slot]
 		if len(entries) == 0 {
 			continue
+		}
+		if par.Interrupted(s.done) {
+			break
 		}
 		pending -= len(entries)
 		// Phase 1: settle new lanes, coalescing same-distance arrivals per
@@ -136,6 +140,9 @@ func multiSourceLevelSyncW(g *graph.WGraph, sources []graph.NodeID, s *MSScratch
 	}
 	touched := s.touched[:0]
 	for d := int32(1); len(frontier) > 0; d++ {
+		if par.Interrupted(s.done) {
+			break
+		}
 		touched = touched[:0]
 		for _, u := range frontier {
 			m := cur[u]
@@ -195,7 +202,10 @@ func MultiSourceWRows(g *graph.WGraph, unweighted bool, batch []graph.NodeID, s 
 			s.fbMaxW = g.MaxWeight()
 		}
 		for lane, src := range batch {
-			WDistances(g, src, rows[lane], s.fb)
+			if par.Interrupted(s.done) {
+				break
+			}
+			wDistancesDone(g, src, rows[lane], s.fb, s.done)
 		}
 	}
 }

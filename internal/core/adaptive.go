@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,6 +45,14 @@ type AdaptiveResult struct {
 // sample leaves the values (mean relative change) within TargetError, the
 // current round is returned.
 func EstimateAdaptive(g *graph.Graph, opts AdaptiveOptions) (*AdaptiveResult, error) {
+	return EstimateAdaptiveContext(context.Background(), g, opts)
+}
+
+// EstimateAdaptiveContext is EstimateAdaptive with cooperative cancellation:
+// ctx is threaded into every round's EstimateContext, so a cancellation
+// aborts the current round at its next checkpoint and the loop returns the
+// ErrCanceled-wrapping error.
+func EstimateAdaptiveContext(ctx context.Context, g *graph.Graph, opts AdaptiveOptions) (*AdaptiveResult, error) {
 	if opts.TargetError <= 0 {
 		opts.TargetError = 0.01
 	}
@@ -63,7 +72,7 @@ func EstimateAdaptive(g *graph.Graph, opts AdaptiveOptions) (*AdaptiveResult, er
 		o := opts.Base
 		o.SampleFraction = fraction
 		o.Seed = opts.Base.Seed + int64(round) // decorrelate rounds
-		res, err := Estimate(g, o)
+		res, err := EstimateContext(ctx, g, o)
 		if err != nil {
 			return nil, err
 		}

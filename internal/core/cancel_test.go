@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func estCancelGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	return map[string]*graph.Graph{
+		"community": gen.Community(1200, 11),
+		"road":      gen.Road(900, 5),
+	}
+}
+
+func TestEstimateContextMatchesEstimate(t *testing.T) {
+	for name, g := range estCancelGraphs(t) {
+		for _, tech := range []Technique{TechCumulative, TechICR, 0} {
+			opts := Options{Techniques: tech, SampleFraction: 0.25, Seed: 42, Workers: 3}
+			want, err := Estimate(g, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, tech, err)
+			}
+			got, err := EstimateContext(context.Background(), g, opts)
+			if err != nil {
+				t.Fatalf("%s/%s ctx: %v", name, tech, err)
+			}
+			for i := range want.Farness {
+				if want.Farness[i] != got.Farness[i] {
+					t.Fatalf("%s/%s: farness[%d] %v vs %v", name, tech, i, want.Farness[i], got.Farness[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateContextPreCanceled(t *testing.T) {
+	g := gen.Community(300, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := EstimateContext(ctx, g, Options{Techniques: TechCumulative, Seed: 1})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled wrapped, got %v", err)
+	}
+	if res != nil {
+		t.Fatal("canceled run must not return a Result")
+	}
+}
+
+func TestEstimateContextDeadline(t *testing.T) {
+	g := gen.Community(300, 2)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := EstimateContext(ctx, g, Options{Techniques: TechCumulative, Seed: 1})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded wrapped, got %v", err)
+	}
+}
+
+// TestEstimateContextAbandonsSlowStage is the acceptance-criteria latency
+// test: a fault-injected 5s stage must be abandoned within 100ms of the
+// context being canceled. The hook signals when the run has entered the slow
+// stage, the test cancels, and the clock runs from the cancellation to
+// EstimateContext's return.
+func TestEstimateContextAbandonsSlowStage(t *testing.T) {
+	g := gen.Community(1200, 11)
+	for _, point := range []string{"core.traverse", "reduce.chains"} {
+		entered := make(chan struct{})
+		restore := fault.Set(point, func(ctx context.Context) error {
+			close(entered)
+			return fault.Sleep(ctx, 5*time.Second)
+		})
+		ctx, cancel := context.WithCancel(context.Background())
+		type out struct {
+			res *Result
+			err error
+			at  time.Time
+		}
+		doneCh := make(chan out, 1)
+		go func() {
+			res, err := EstimateContext(ctx, g, Options{Techniques: TechCumulative, SampleFraction: 0.2, Seed: 7})
+			doneCh <- out{res, err, time.Now()}
+		}()
+		<-entered
+		canceledAt := time.Now()
+		cancel()
+		o := <-doneCh
+		restore()
+		if !errors.Is(o.err, ErrCanceled) {
+			t.Fatalf("%s: want ErrCanceled, got %v", point, o.err)
+		}
+		if o.res != nil {
+			t.Fatalf("%s: canceled run must not return a Result", point)
+		}
+		if latency := o.at.Sub(canceledAt); latency > 100*time.Millisecond {
+			t.Fatalf("%s: run abandoned %v after cancellation (want ≤100ms)", point, latency)
+		}
+	}
+}
+
+func TestEstimateContextCanceledDuringTraversal(t *testing.T) {
+	// Cancel while traversals are in flight (not just at a checkpoint): the
+	// fan-out must stop claiming sources and return ErrCanceled.
+	g := gen.Community(1500, 3)
+	for _, tr := range []TraversalMode{TraversalPerSource, TraversalBatched} {
+		ctx, cancel := context.WithCancel(context.Background())
+		restore := fault.Set("core.traverse", func(context.Context) error {
+			// Fires right before the fan-out; cancel now so the workers see
+			// a done context while claiming tasks.
+			cancel()
+			return nil
+		})
+		_, err := EstimateContext(ctx, g, Options{Techniques: TechCumulative, SampleFraction: 0.3, Seed: 9, Traversal: tr})
+		restore()
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("traversal=%v: want ErrCanceled, got %v", tr, err)
+		}
+	}
+}
+
+func TestRandomSamplingModeContextCanceled(t *testing.T) {
+	g := gen.Community(800, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RandomSamplingModeContext(ctx, g, 0.3, 2, 1, TraversalPerSource)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if res != nil {
+		t.Fatal("canceled run must not return a Result")
+	}
+}
+
+func TestEstimateAdaptiveContextCanceled(t *testing.T) {
+	g := gen.Community(600, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EstimateAdaptiveContext(ctx, g, AdaptiveOptions{Base: Options{Techniques: TechCumulative}})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}

@@ -6,14 +6,24 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/bfs"
 	"repro/internal/bicc"
+	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/reduce"
 )
+
+// ErrCanceled is returned (wrapped) by EstimateContext and every other
+// ctx-aware entry point when the run was abandoned because its context was
+// canceled or timed out. The returned error also satisfies
+// errors.Is(err, ctx.Err()), so callers can distinguish deadline expiry from
+// explicit cancellation.
+var ErrCanceled = par.ErrCanceled
 
 // Technique is a bitmask selecting BRICS optimisations; the letters follow
 // the paper's acronym.
@@ -168,6 +178,16 @@ func ExactFarness(g *graph.Graph, workers int) []float64 {
 // Estimate runs the BRICS estimator with the given options. The graph must
 // be simple, undirected and connected (see graph.Connect).
 func Estimate(g *graph.Graph, opts Options) (*Result, error) {
+	return EstimateContext(context.Background(), g, opts)
+}
+
+// EstimateContext is Estimate with cooperative cancellation: the run checks
+// ctx at every stage boundary (reduction stages, BiCC decomposition,
+// traversal fan-out, aggregation) and inside the traversal kernels, and
+// abandons the computation with an ErrCanceled-wrapping error once ctx is
+// done. All pooled scratch is returned on the abort path, and a run whose
+// context never fires produces farness bit-identical to Estimate.
+func EstimateContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return &Result{}, nil
@@ -181,6 +201,9 @@ func Estimate(g *graph.Graph, opts Options) (*Result, error) {
 	if res, ok := closedForm(g); ok {
 		return res, nil
 	}
+	if err := fault.Checkpoint(ctx, "core.reduce"); err != nil {
+		return nil, err
+	}
 
 	start := time.Now()
 	ropts := reduce.Options{
@@ -192,9 +215,9 @@ func Estimate(g *graph.Graph, opts Options) (*Result, error) {
 	var red *reduce.Reduction
 	var err error
 	if opts.IterateReductions {
-		red, err = reduce.RunIterative(g, ropts, 0)
+		red, err = reduce.RunIterativeContext(ctx, g, ropts, 0)
 	} else {
-		red, err = reduce.Run(g, ropts)
+		red, err = reduce.RunContext(ctx, g, ropts)
 	}
 	if err != nil {
 		return nil, err
@@ -203,9 +226,9 @@ func Estimate(g *graph.Graph, opts Options) (*Result, error) {
 
 	var res *Result
 	if opts.Techniques&TechBiCC != 0 {
-		res, err = estimateCumulative(red, &opts)
+		res, err = estimateCumulative(ctx, red, &opts)
 	} else {
-		res, err = estimateGlobal(red, &opts)
+		res, err = estimateGlobal(ctx, red, &opts)
 	}
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/bct"
 	"repro/internal/bfs"
 	"repro/internal/bicc"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/reduce"
@@ -21,18 +23,25 @@ import (
 // each block with every cut vertex always sampled, traverse blocks
 // independently, aggregate cross-block contributions over the block
 // cut-vertex tree (Algorithm 6), and assemble per-node farness.
-func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
+// Cancellation checkpoints sit before the decomposition ("core.decompose"),
+// before the pass-1 fan-out ("core.traverse", with per-task and in-kernel
+// checks inside it), and before the tree aggregation + pass 2
+// ("core.aggregate"); a non-nil error discards all partial accumulation.
+func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Options) (*Result, error) {
 	n := red.Orig.NumNodes()
 	nR := red.G.NumNodes()
 	if nR <= 2 {
-		return estimateGlobal(red, opts)
+		return estimateGlobal(ctx, red, opts)
 	}
 
+	if err := fault.Checkpoint(ctx, "core.decompose"); err != nil {
+		return nil, err
+	}
 	prepStart := time.Now()
 	d := bicc.DecomposeWorkers(red.G, opts.Workers)
 	if d.NumBlocks() <= 1 {
 		// A single biconnected block degenerates to the global estimator.
-		res, err := estimateGlobal(red, opts)
+		res, err := estimateGlobal(ctx, red, opts)
 		if err == nil {
 			res.Stats.Blocks = d.Summarize()
 		}
@@ -203,10 +212,14 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 	localG := make([]*graph.WGraph, nb)
 	localUnw := make([]bool, nb)
 	maxBlockNodes := 0
-	par.For(nb, opts.Workers, func(b int) {
-		localG[b] = buildBlockGraph(d, int32(b))
-		localUnw[b] = localG[b].Unweighted()
-	})
+	if err := par.ForBlocksCtx(ctx, nb, opts.Workers, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			localG[b] = buildBlockGraph(d, int32(b))
+			localUnw[b] = localG[b].Unweighted()
+		}
+	}); err != nil {
+		return nil, err
+	}
 	for b := 0; b < nb; b++ {
 		if len(d.BlockNodes[b]) > maxBlockNodes {
 			maxBlockNodes = len(d.BlockNodes[b])
@@ -221,6 +234,11 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 		}
 	}
 	prep := time.Since(prepStart)
+
+	if err := fault.Checkpoint(ctx, "core.traverse"); err != nil {
+		return nil, err
+	}
+	done := ctx.Done()
 
 	// Pass 1: every sampled source.
 	travStart := time.Now()
@@ -325,6 +343,7 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 		w := ws{s: bfs.NewScratch(maxBlockNodes, maxW), distOrig: make([]int32, n)}
 		if anyBatched {
 			w.ms = bfs.NewMSScratch(maxBlockNodes, maxW)
+			w.ms.SetDone(done)
 			slab := make([]int32, bfs.MSBFSWidth*maxBlockNodes)
 			w.rows = make([][]int32, bfs.MSBFSWidth)
 			for j := range w.rows {
@@ -352,7 +371,7 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 	runBlockSource := func(w *ws, b int32, src graph.NodeID) {
 		members := d.BlockNodes[b]
 		dist := w.s.Dist[:len(members)]
-		bfs.WDistances(localG[b], graph.NodeID(localIndex(members, src)), dist, w.s.B)
+		_ = bfs.WDistancesCtx(ctx, localG[b], graph.NodeID(localIndex(members, src)), dist, w.s.B)
 		extendBlock(w, b, dist)
 	}
 
@@ -417,14 +436,17 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 		}
 	}
 
-	par.ForDynamic(len(tasks), workers, 1, func(worker, ti int) {
+	if err := par.ForDynamicCtx(ctx, len(tasks), workers, 1, func(worker, ti int) {
 		w := &scratch[worker]
 		t := tasks[ti]
 		members := d.BlockNodes[t.b]
 		if len(t.srcs) == 1 {
 			src := t.srcs[0]
 			dist := w.s.Dist[:len(members)]
-			bfs.WDistances(localG[t.b], graph.NodeID(localIndex(members, src)), dist, w.s.B)
+			_ = bfs.WDistancesCtx(ctx, localG[t.b], graph.NodeID(localIndex(members, src)), dist, w.s.B)
+			if par.Interrupted(done) {
+				return // partial row; the whole run is about to error out
+			}
 			accumulateSource(w, t.b, src, dist)
 			return
 		}
@@ -439,10 +461,15 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 			rows[i] = w.rows[i][:len(members)]
 		}
 		bfs.MultiSourceWRows(localG[t.b], localUnw[t.b], locals, w.ms, rows)
+		if par.Interrupted(done) {
+			return
+		}
 		for lane, src := range t.srcs {
 			accumulateSource(w, t.b, src, rows[lane])
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	trav := time.Since(travStart)
 
 	// Aggregate across the tree. One correction first: a twin whose
@@ -469,6 +496,9 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 			sumDist[b][li] -= int64(len(te.Members)) * int64(te.GroupDist)
 		}
 	}
+	if err := fault.Checkpoint(ctx, "core.aggregate"); err != nil {
+		return nil, err
+	}
 	aggStart := time.Now()
 	contrib := tree.Aggregate(&bct.Inputs{Pop: pop, SumDist: sumDist, CutDist: cutDist})
 	if contrib.TotalPop != int64(n) {
@@ -487,7 +517,7 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 		}
 		crossConst[b] = c
 	}
-	par.ForDynamic(len(cutTasks), workers, 1, func(worker, ti int) {
+	if err := par.ForDynamicCtx(ctx, len(cutTasks), workers, 1, func(worker, ti int) {
 		t := cutTasks[ti]
 		b := t.b
 		src := t.srcs[0]
@@ -525,7 +555,9 @@ func estimateCumulative(red *reduce.Reduction, opts *Options) (*Result, error) {
 				atomic.AddInt64(&crossAcc[r], wout*int64(w.distOrig[r]))
 			}
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Assembly.
 	res := &Result{

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bfs"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/queue"
@@ -16,8 +18,12 @@ import (
 // estimateGlobal runs the reduction-based estimator without the
 // biconnected decomposition (the paper's C+R and I+C+R configurations):
 // sample kept nodes of the reduced graph, traverse it per source, extend
-// distances over the removal log, and accumulate.
-func estimateGlobal(red *reduce.Reduction, opts *Options) (*Result, error) {
+// distances over the removal log, and accumulate. Cancellation lands before
+// the traversal fan-out ("core.traverse"), at every source boundary inside
+// it, within the kernels themselves, and before aggregation
+// ("core.aggregate"); on a non-nil error the partially filled accumulators
+// are discarded with the rest of the run.
+func estimateGlobal(ctx context.Context, red *reduce.Reduction, opts *Options) (*Result, error) {
 	n := red.Orig.NumNodes()
 	nR := red.G.NumNodes()
 	res := &Result{
@@ -52,7 +58,11 @@ func estimateGlobal(red *reduce.Reduction, opts *Options) (*Result, error) {
 	}
 	res.Stats.Samples = k + len(extraOrig)
 
+	if err := fault.Checkpoint(ctx, "core.traverse"); err != nil {
+		return nil, err
+	}
 	start := time.Now()
+	done := ctx.Done()
 	workers := par.Workers(opts.Workers)
 	unweighted := red.G.Unweighted()
 	maxW := red.G.MaxWeight()
@@ -106,7 +116,7 @@ func estimateGlobal(red *reduce.Reduction, opts *Options) (*Result, error) {
 		// Batched engine: 64-wide multi-source sweeps over the reduced
 		// graph; each lane's row is scattered and extended exactly like a
 		// per-source traversal, so the accumulated integers are identical.
-		bfs.RunBatchesW(red.G, samplesReduced, workers, func(worker, _ int, batch []graph.NodeID, rows [][]int32) {
+		err := bfs.RunBatchesWCtx(ctx, red.G, samplesReduced, workers, func(worker, _ int, batch []graph.NodeID, rows [][]int32) {
 			w := &scratch[worker]
 			for lane, srcR := range batch {
 				red.Scatter(rows[lane], w.distOrig)
@@ -114,18 +124,27 @@ func estimateGlobal(red *reduce.Reduction, opts *Options) (*Result, error) {
 				accumulateRow(w, red.ToOld[srcR])
 			}
 		})
-		par.ForDynamic(len(extraOrig), workers, 1, func(worker, i int) {
+		if err != nil {
+			return nil, err
+		}
+		err = par.ForDynamicCtx(ctx, len(extraOrig), workers, 1, func(worker, i int) {
 			w := &scratch[worker]
 			src := extraOrig[i]
 			bfs.Distances(red.Orig, src, w.distOrig, w.origQ)
 			accumulateRow(w, src)
 		})
+		if err != nil {
+			return nil, err
+		}
 	} else {
-		par.ForDynamic(kEff, workers, 1, func(worker, i int) {
+		err := par.ForDynamicCtx(ctx, kEff, workers, 1, func(worker, i int) {
 			w := &scratch[worker]
 			if i < k {
 				srcR := samplesReduced[i]
-				bfs.WDistancesAuto(red.G, unweighted, srcR, w.s)
+				_ = bfs.WDistancesAutoCtx(ctx, red.G, unweighted, srcR, w.s)
+				if par.Interrupted(done) {
+					return // partial row; the whole run is about to error out
+				}
 				red.Scatter(w.s.Dist, w.distOrig)
 				red.Extend(w.distOrig)
 				accumulateRow(w, red.ToOld[srcR])
@@ -136,9 +155,15 @@ func estimateGlobal(red *reduce.Reduction, opts *Options) (*Result, error) {
 			bfs.Distances(red.Orig, src, w.distOrig, w.origQ)
 			accumulateRow(w, src)
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	res.Stats.Traverse = time.Since(start)
 
+	if err := fault.Checkpoint(ctx, "core.aggregate"); err != nil {
+		return nil, err
+	}
 	aggStart := time.Now()
 	for _, sR := range samplesReduced {
 		res.Exact[red.ToOld[sR]] = true

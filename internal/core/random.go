@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,15 @@ func RandomSampling(g *graph.Graph, fraction float64, workers int, seed int64) *
 // Farness output is identical across modes for the same seed; only the
 // wall-clock differs.
 func RandomSamplingMode(g *graph.Graph, fraction float64, workers int, seed int64, mode TraversalMode) *Result {
+	res, _ := RandomSamplingModeContext(context.Background(), g, fraction, workers, seed, mode)
+	return res
+}
+
+// RandomSamplingModeContext is RandomSamplingMode with cooperative
+// cancellation: traversals stop at the next source (or frontier level) once
+// ctx is done and the run returns a nil Result with an ErrCanceled-wrapping
+// error.
+func RandomSamplingModeContext(ctx context.Context, g *graph.Graph, fraction float64, workers int, seed int64, mode TraversalMode) (*Result, error) {
 	n := g.NumNodes()
 	res := &Result{
 		Farness: make([]float64, n),
@@ -65,7 +75,7 @@ func RandomSamplingMode(g *graph.Graph, fraction float64, workers int, seed int6
 		for i := range res.Exact {
 			res.Exact[i] = true
 		}
-		return res
+		return res, nil
 	}
 	if fraction <= 0 {
 		fraction = 0.3
@@ -90,12 +100,16 @@ func RandomSamplingMode(g *graph.Graph, fraction float64, workers int, seed int6
 		}
 		atomic.StoreInt64(&exactFar[src], own)
 	}
+	done := ctx.Done()
 	if mode.batched(k) {
-		bfs.RunBatches(g, samples, workers, func(_, _ int, batch []graph.NodeID, rows [][]int32) {
+		err := bfs.RunBatchesCtx(ctx, g, samples, workers, func(_, _ int, batch []graph.NodeID, rows [][]int32) {
 			for lane, src := range batch {
 				accumulateRow(src, rows[lane])
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		type ws struct {
 			dist []int32
@@ -105,12 +119,18 @@ func RandomSamplingMode(g *graph.Graph, fraction float64, workers int, seed int6
 		for i := range scratch {
 			scratch[i] = ws{dist: make([]int32, n), q: queue.NewFIFO(n)}
 		}
-		par.ForDynamic(k, workers, 1, func(worker, i int) {
+		err := par.ForDynamicCtx(ctx, k, workers, 1, func(worker, i int) {
 			s := &scratch[worker]
 			src := samples[i]
-			bfs.Distances(g, src, s.dist, s.q)
+			_ = bfs.DistancesCtx(ctx, g, src, s.dist, s.q)
+			if par.Interrupted(done) {
+				return // partial row; the whole run is about to error out
+			}
 			accumulateRow(src, s.dist)
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	res.Stats.Traverse = time.Since(start)
 
@@ -125,5 +145,5 @@ func RandomSamplingMode(g *graph.Graph, fraction float64, workers int, seed int6
 			res.Farness[v] = float64(acc[v]) * scale
 		}
 	}
-	return res
+	return res, nil
 }

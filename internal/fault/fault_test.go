@@ -1,0 +1,112 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/par"
+)
+
+func TestInjectDisarmed(t *testing.T) {
+	if err := Inject(context.Background(), "nope"); err != nil {
+		t.Fatalf("disarmed inject: %v", err)
+	}
+}
+
+func TestSetRestore(t *testing.T) {
+	sentinel := errors.New("boom")
+	restore := Set("p", func(context.Context) error { return sentinel })
+	if err := Inject(context.Background(), "p"); !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel, got %v", err)
+	}
+	if err := Inject(context.Background(), "other"); err != nil {
+		t.Fatalf("other point must stay clean: %v", err)
+	}
+	restore()
+	if err := Inject(context.Background(), "p"); err != nil {
+		t.Fatalf("after restore: %v", err)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed count leaked: %d", armed.Load())
+	}
+}
+
+func TestSetNestedRestore(t *testing.T) {
+	e1, e2 := errors.New("one"), errors.New("two")
+	r1 := Set("p", func(context.Context) error { return e1 })
+	r2 := Set("p", func(context.Context) error { return e2 })
+	if err := Inject(context.Background(), "p"); !errors.Is(err, e2) {
+		t.Fatalf("want e2, got %v", err)
+	}
+	r2()
+	if err := Inject(context.Background(), "p"); !errors.Is(err, e1) {
+		t.Fatalf("want e1 after inner restore, got %v", err)
+	}
+	r1()
+	if err := Inject(context.Background(), "p"); err != nil {
+		t.Fatalf("after full restore: %v", err)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed count leaked: %d", armed.Load())
+	}
+}
+
+func TestClear(t *testing.T) {
+	Set("a", Panic("a"))
+	Set("b", Panic("b"))
+	Clear()
+	if armed.Load() != 0 {
+		t.Fatalf("armed count after Clear: %d", armed.Load())
+	}
+	if err := Inject(context.Background(), "a"); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	}
+}
+
+func TestCheckpointReportsCancellation(t *testing.T) {
+	if err := Checkpoint(context.Background(), "p"); err != nil {
+		t.Fatalf("live ctx: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Checkpoint(ctx, "p"); !errors.Is(err, par.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestDelayInterruptible(t *testing.T) {
+	restore := Set("slow", Delay(5 * time.Second))
+	defer restore()
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := Inject(ctx, "slow")
+	if !errors.Is(err, par.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("delay not interrupted: took %v", elapsed)
+	}
+}
+
+func TestSleepCompletes(t *testing.T) {
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("uninterrupted sleep: %v", err)
+	}
+}
+
+func TestPanicHook(t *testing.T) {
+	restore := Set("crash", Panic("deliberate"))
+	defer restore()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = Inject(context.Background(), "crash")
+}

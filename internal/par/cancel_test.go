@@ -1,0 +1,122 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCtxErr(t *testing.T) {
+	if err := CtxErr(context.Background()); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := CtxErr(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled wrapped, got %v", err)
+	}
+}
+
+func TestForDynamicCtxCoversRangeWhenLive(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		n := 57
+		hits := make([]int32, n)
+		err := ForDynamicCtx(context.Background(), n, workers, 2, func(_, i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForDynamicCtxStopsOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var visited atomic.Int64
+		err := ForDynamicCtx(ctx, 1_000_000, workers, 1, func(_, i int) {
+			if visited.Add(1) == 10 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("workers=%d: want ErrCanceled, got %v", workers, err)
+		}
+		if v := visited.Load(); v >= 1_000_000 {
+			t.Fatalf("workers=%d: cancellation did not stop the loop (visited %d)", workers, v)
+		}
+	}
+}
+
+func TestForDynamicCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := atomic.Bool{}
+	err := ForDynamicCtx(ctx, 100, 4, 1, func(_, _ int) { called.Store(true) })
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	// Workers may observe the claim before the done poll on the very first
+	// iteration only with workers == 1 and a sequential path; the parallel
+	// path checks before every claim, so nothing should run.
+	if called.Load() {
+		t.Fatal("pre-canceled context still ran iterations")
+	}
+}
+
+func TestForBlocksCtxCoversRangeWhenLive(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		n := 101
+		hits := make([]int32, n)
+		err := ForBlocksCtx(context.Background(), n, workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForBlocksCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var called atomic.Bool
+	err := ForBlocksCtx(ctx, 100, 4, func(_, _, _ int) { called.Store(true) })
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if called.Load() {
+		t.Fatal("pre-canceled context still ran blocks")
+	}
+}
+
+func TestInterrupted(t *testing.T) {
+	if Interrupted(nil) {
+		t.Fatal("nil channel must read as not interrupted")
+	}
+	ch := make(chan struct{})
+	if Interrupted(ch) {
+		t.Fatal("open channel must read as not interrupted")
+	}
+	close(ch)
+	if !Interrupted(ch) {
+		t.Fatal("closed channel must read as interrupted")
+	}
+}

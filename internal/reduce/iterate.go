@@ -1,9 +1,11 @@
 package reduce
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/chains"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/redundant"
 )
@@ -18,17 +20,27 @@ import (
 // maxRounds caps the extra rounds (0 means no cap); real graphs converge
 // in 2–4.
 func RunIterative(g *graph.Graph, opts Options, maxRounds int) (*Reduction, error) {
-	return run(g, opts, true, maxRounds)
+	return run(context.Background(), g, opts, true, maxRounds)
+}
+
+// RunIterativeContext is RunIterative with cooperative cancellation: in
+// addition to RunContext's per-stage checkpoints, the fixpoint loop checks
+// ctx before every round (checkpoint "reduce.round").
+func RunIterativeContext(ctx context.Context, g *graph.Graph, opts Options, maxRounds int) (*Reduction, error) {
+	return run(ctx, g, opts, true, maxRounds)
 }
 
 // rounds iterates the chain and redundant stages until no round removes a
 // node (or maxRounds is hit). Each round reuses the pooled scratch of the
 // first pass — the fixpoint loop allocates nothing beyond the events and
 // the per-round reduced graphs.
-func (p *pipeline) rounds(opts Options, maxRounds int) {
+func (p *pipeline) rounds(ctx context.Context, opts Options, maxRounds int) error {
 	t0 := time.Now()
 	defer func() { p.red.Timings.Rounds = time.Since(t0) }()
 	for round := 0; maxRounds == 0 || round < maxRounds; round++ {
+		if err := fault.Checkpoint(ctx, "reduce.round"); err != nil {
+			return err
+		}
 		removed := 0
 		if opts.Chains {
 			removed += p.chainRound()
@@ -41,6 +53,7 @@ func (p *pipeline) rounds(opts Options, maxRounds int) {
 			break
 		}
 	}
+	return nil
 }
 
 // chainRound runs one weighted chain round over p.wg, appending events and

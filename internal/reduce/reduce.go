@@ -19,9 +19,11 @@
 package reduce
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/chains"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/redundant"
@@ -242,11 +244,22 @@ func (r *Reduction) NumRemoved() int { return r.Orig.NumNodes() - len(r.ToOld) }
 
 // Run executes the pipeline on the connected simple graph g.
 func Run(g *graph.Graph, opts Options) (*Reduction, error) {
-	return run(g, opts, false, 0)
+	return run(context.Background(), g, opts, false, 0)
 }
 
-// run is the shared driver behind Run and RunIterative.
-func run(g *graph.Graph, opts Options, iterate bool, maxRounds int) (*Reduction, error) {
+// RunContext is Run with cooperative cancellation: the pipeline checks ctx
+// between stages (checkpoints "reduce.twins", "reduce.chains",
+// "reduce.redundant") and abandons the run with a par.ErrCanceled-wrapping
+// error once it is done. The pooled scratch is returned either way; a
+// non-nil error means no Reduction is produced.
+func RunContext(ctx context.Context, g *graph.Graph, opts Options) (*Reduction, error) {
+	return run(ctx, g, opts, false, 0)
+}
+
+// run is the shared driver behind Run and RunIterative. The fault
+// checkpoints double as the pipeline's cancellation points; the pooled
+// scratch is returned by the deferred putScratch on every path.
+func run(ctx context.Context, g *graph.Graph, opts Options, iterate bool, maxRounds int) (*Reduction, error) {
 	n := g.NumNodes()
 	p := &pipeline{
 		red:     &Reduction{Orig: g},
@@ -255,11 +268,22 @@ func run(g *graph.Graph, opts Options, iterate bool, maxRounds int) (*Reduction,
 	}
 	defer putScratch(p.sc)
 
+	if err := fault.Checkpoint(ctx, "reduce.twins"); err != nil {
+		return nil, err
+	}
 	p.stageTwins(g, opts)
+	if err := fault.Checkpoint(ctx, "reduce.chains"); err != nil {
+		return nil, err
+	}
 	p.stageChains(opts)
+	if err := fault.Checkpoint(ctx, "reduce.redundant"); err != nil {
+		return nil, err
+	}
 	p.stageRedundant(opts)
 	if iterate && (opts.Chains || opts.Redundant) {
-		p.rounds(opts, maxRounds)
+		if err := p.rounds(ctx, opts, maxRounds); err != nil {
+			return nil, err
+		}
 	}
 	p.finish(n)
 	return p.red, nil

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// errBusy sheds load when every estimation slot is taken; handlers map it to
+// 429 + Retry-After.
+var errBusy = errors.New("server: estimation capacity saturated")
+
+// panicError wraps a value recovered from a crashed estimation run so the
+// handler can answer 500 while the daemon keeps serving.
+type panicError struct{ val any }
+
+func (p *panicError) Error() string { return fmt.Sprintf("estimation run panicked: %v", p.val) }
+
+// generation is one immutable version of the served graph together with its
+// result cache and in-flight estimate runs. Readers load the current
+// generation from Server.gen with a single atomic pointer read — they never
+// contend with estimates — and edge mutations install a fresh generation,
+// which atomically invalidates the cache and detaches (but does not abort)
+// runs still computing against the old snapshot.
+type generation struct {
+	g *graph.Graph
+
+	mu      sync.Mutex // guards cache and flights; held only for map ops
+	cache   map[string]*core.Result
+	flights map[string]*flight
+}
+
+func newGeneration(g *graph.Graph) *generation {
+	return &generation{
+		g:       g,
+		cache:   make(map[string]*core.Result),
+		flights: make(map[string]*flight),
+	}
+}
+
+// flight is one in-flight estimation run, deduplicating concurrent requests
+// with identical parameters (singleflight). The run's context derives from
+// the server's base context — not any single request's — and is canceled
+// when the last waiter walks away (client disconnects, deadlines expire) or
+// the server closes, so abandoned work stops burning CPU.
+type flight struct {
+	done    chan struct{} // closed when res/err are set
+	res     *core.Result
+	err     error
+	waiters int // guarded by the generation's mu
+	cancel  context.CancelFunc
+}
+
+// estimate returns the cached result for key, joins an identical in-flight
+// run, or starts one (subject to admission control). ctx is the request's
+// context: its cancellation abandons only this caller's wait, aborting the
+// compute itself only when no other request still wants the result.
+func (s *Server) estimate(ctx context.Context, key string, opts core.Options) (*core.Result, error) {
+	gen := s.gen.Load()
+	gen.mu.Lock()
+	if res, ok := gen.cache[key]; ok {
+		gen.mu.Unlock()
+		return res, nil
+	}
+	if f, ok := gen.flights[key]; ok {
+		f.waiters++
+		gen.mu.Unlock()
+		return s.wait(ctx, gen, key, f)
+	}
+	// Leader: take an estimation slot or shed the request.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		gen.mu.Unlock()
+		return nil, errBusy
+	}
+	fctx, fcancel := context.WithCancel(s.baseCtx)
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: fcancel}
+	gen.flights[key] = f
+	gen.mu.Unlock()
+
+	go s.run(fctx, gen, key, f, opts)
+	return s.wait(ctx, gen, key, f)
+}
+
+// run executes one estimation flight: panic-safe, cancellable, publishing
+// into the generation's cache on success. Always releases the admission slot.
+func (s *Server) run(fctx context.Context, gen *generation, key string, f *flight, opts core.Options) {
+	defer func() { <-s.sem }()
+	defer f.cancel()
+	res, err := func() (res *core.Result, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				res, err = nil, &panicError{val: v}
+			}
+		}()
+		if err := fault.Checkpoint(fctx, "server.estimate"); err != nil {
+			return nil, err
+		}
+		return core.EstimateContext(fctx, gen.g, opts)
+	}()
+	gen.mu.Lock()
+	f.res, f.err = res, err
+	if gen.flights[key] == f {
+		delete(gen.flights, key)
+	}
+	if err == nil {
+		gen.cache[key] = res
+	}
+	gen.mu.Unlock()
+	close(f.done)
+}
+
+// wait blocks until the flight completes or the caller's context fires.
+// The last waiter to walk away aborts the flight's compute and retires it
+// from the dedup map, so a later identical request starts fresh.
+func (s *Server) wait(ctx context.Context, gen *generation, key string, f *flight) (*core.Result, error) {
+	select {
+	case <-f.done:
+		gen.mu.Lock()
+		f.waiters--
+		gen.mu.Unlock()
+		return f.res, f.err
+	case <-ctx.Done():
+		gen.mu.Lock()
+		f.waiters--
+		abandoned := f.waiters == 0
+		if abandoned && gen.flights[key] == f {
+			delete(gen.flights, key)
+		}
+		gen.mu.Unlock()
+		if abandoned {
+			f.cancel()
+		}
+		return nil, par.CtxErr(ctx)
+	}
+}

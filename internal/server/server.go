@@ -5,51 +5,118 @@
 //
 // Endpoints:
 //
-//	GET    /healthz                           liveness
+//	GET    /healthz                           liveness (never blocks)
+//	GET    /readyz                            readiness (503 while draining)
 //	GET    /v1/graph                          node/edge counts
 //	POST   /v1/estimate                       {"techniques":"BRIC","fraction":0.2,"seed":1}
 //	GET    /v1/farness/{node}?...             one node's estimate (same query params)
 //	GET    /v1/topk?k=10&...                  verified top-k (exact values)
 //	POST   /v1/edges                          {"u":1,"v":2} insert (exact dynamic update)
 //	DELETE /v1/edges?u=1&v=2                  remove an edge
+//
+// Robustness model. Reads (health, graph, distance, cached estimates) load
+// an immutable graph generation with one atomic pointer read and never wait
+// behind an in-flight estimation. Concurrent estimate requests with
+// identical parameters are deduplicated into a single run (singleflight);
+// the run is aborted when its last waiter disconnects or times out. The
+// number of simultaneous estimation runs is bounded — excess requests are
+// shed with 429 and a Retry-After hint rather than queued. Every estimation
+// endpoint honours a per-request deadline (?timeout=..., capped by the
+// server's maximum) and a panicking run answers 500 without taking the
+// daemon down. Error mapping: invalid parameters 400, capacity 429,
+// canceled/draining 503, deadline 504, crash 500.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bfs"
 	"repro/internal/core"
 	"repro/internal/dynamic"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/topk"
 )
 
-// Server is the HTTP handler. Create with New; it is safe for concurrent
-// use.
-type Server struct {
-	mu    sync.Mutex
-	ix    *dynamic.Index
-	cache map[string]*core.Result // estimation cache, cleared on mutation
-	mux   *http.ServeMux
+// Config tunes the server's admission control and deadlines. The zero value
+// of any field selects its default.
+type Config struct {
+	// Workers bounds the goroutines of each estimation run
+	// (0 = GOMAXPROCS).
+	Workers int
+	// MaxInflight bounds simultaneous estimation runs; requests beyond it
+	// are shed with 429. Default 4.
+	MaxInflight int
+	// DefaultTimeout applies to estimation requests that carry no
+	// ?timeout= parameter. Default 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any client-requested deadline. Default 5m.
+	MaxTimeout time.Duration
 }
 
-// New builds a server over a connected graph.
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is the HTTP handler. Create with New or NewWithConfig; it is safe
+// for concurrent use.
+type Server struct {
+	gen  atomic.Pointer[generation] // current graph snapshot + caches; lock-free reads
+	ixMu sync.Mutex                 // serialises edge mutations on ix
+	ix   *dynamic.Index
+
+	cfg        Config
+	sem        chan struct{}   // admission slots for estimation runs
+	baseCtx    context.Context // parent of every flight context; canceled by Close
+	baseCancel context.CancelFunc
+	ready      atomic.Bool
+	mux        *http.ServeMux
+}
+
+// New builds a server over a connected graph with default admission and
+// deadline settings.
 func New(g *graph.Graph, workers int) (*Server, error) {
-	ix, err := dynamic.New(g, workers)
+	return NewWithConfig(g, Config{Workers: workers})
+}
+
+// NewWithConfig builds a server over a connected graph.
+func NewWithConfig(g *graph.Graph, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ix, err := dynamic.New(g, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
-		ix:    ix,
-		cache: make(map[string]*core.Result),
-		mux:   http.NewServeMux(),
+		ix:         ix,
+		cfg:        cfg,
+		sem:        make(chan struct{}, cfg.MaxInflight),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		mux:        http.NewServeMux(),
 	}
+	s.gen.Store(newGeneration(ix.Snapshot()))
+	s.ready.Store(true)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/v1/graph", s.handleGraph)
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/v1/farness/", s.handleFarness)
@@ -59,8 +126,36 @@ func New(g *graph.Graph, workers int) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// SetReady flips the /readyz answer; cmd/bricsd marks the server not-ready
+// at the start of a graceful shutdown so load balancers stop routing to it
+// while in-flight requests drain.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Close aborts every in-flight estimation run and marks the server
+// not-ready. Subsequent estimation requests fail with 503.
+func (s *Server) Close() {
+	s.ready.Store(false)
+	s.baseCancel()
+}
+
+// ServeHTTP implements http.Handler. A panic in any handler is converted to
+// a 500 response instead of crashing the daemon (http.ErrAbortHandler is
+// re-raised for net/http to handle).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			writeErr(w, http.StatusInternalServerError, "internal error: %v", v)
+		}
+	}()
+	if err := fault.Inject(r.Context(), "server.handle"); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 type errorBody struct {
 	Error string `json:"error"`
@@ -76,8 +171,55 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeEstimateErr maps an estimation failure onto its HTTP status:
+// capacity 429 (+Retry-After), crash 500, caller deadline 504,
+// canceled/draining 503, anything else (validation) 400.
+func writeEstimateErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	var pe *panicError
+	switch {
+	case errors.Is(err, errBusy):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case errors.As(err, &pe):
+		status = http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrCanceled), errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	}
+	writeErr(w, status, "%v", err)
+}
+
+// requestCtx derives the estimation context for one request: the client's
+// disconnect signal plus a deadline from ?timeout= (or the server default),
+// capped at the configured maximum.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		pd, err := time.ParseDuration(v)
+		if err != nil || pd <= 0 {
+			return nil, nil, fmt.Errorf("bad timeout %q (want a positive duration like 30s)", v)
+		}
+		d = pd
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 type graphBody struct {
@@ -90,9 +232,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
-	g := s.ix.Snapshot()
-	s.mu.Unlock()
+	g := s.gen.Load().g
 	writeJSON(w, http.StatusOK, graphBody{Nodes: g.NumNodes(), Edges: g.NumEdges()})
 }
 
@@ -103,20 +243,26 @@ type estimateParams struct {
 	Seed       int64   `json:"seed"`
 }
 
-func (p *estimateParams) options() (core.Options, error) {
+// resolve validates the params and returns the canonical cache key plus the
+// fully-populated estimation options. The key is derived from the parsed
+// technique mask, not the raw string, so "bric", "BRIC" and "CIRB" all
+// dedup onto one cache entry; the server's worker bound is plumbed into the
+// options so estimation parallelism follows the -workers flag.
+func (s *Server) resolve(p estimateParams) (string, core.Options, error) {
 	tech, err := ParseTechniques(p.Techniques)
 	if err != nil {
-		return core.Options{}, err
+		return "", core.Options{}, err
 	}
-	return core.Options{
+	if p.Fraction <= 0 || p.Fraction > 1 {
+		return "", core.Options{}, fmt.Errorf("fraction %g out of range (0,1]", p.Fraction)
+	}
+	key := fmt.Sprintf("%s/%g/%d", tech, p.Fraction, p.Seed)
+	return key, core.Options{
 		Techniques:     tech,
 		SampleFraction: p.Fraction,
 		Seed:           p.Seed,
+		Workers:        s.cfg.Workers,
 	}, nil
-}
-
-func (p *estimateParams) key() string {
-	return fmt.Sprintf("%s/%g/%d", strings.ToUpper(p.Techniques), p.Fraction, p.Seed)
 }
 
 func paramsFromQuery(q map[string][]string) (estimateParams, error) {
@@ -141,26 +287,6 @@ func paramsFromQuery(q map[string][]string) (estimateParams, error) {
 	return p, nil
 }
 
-// estimate returns the (possibly cached) estimation result for the params.
-func (s *Server) estimate(p estimateParams) (*core.Result, error) {
-	opts, err := p.options()
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if res, ok := s.cache[p.key()]; ok {
-		return res, nil
-	}
-	g := s.ix.Snapshot()
-	res, err := core.Estimate(g, opts)
-	if err != nil {
-		return nil, err
-	}
-	s.cache[p.key()] = res
-	return res, nil
-}
-
 type estimateBody struct {
 	Nodes       int     `json:"nodes"`
 	Samples     int     `json:"samples"`
@@ -180,9 +306,20 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
 		return
 	}
-	res, err := s.estimate(p)
+	key, opts, err := s.resolve(p)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	res, err := s.estimate(ctx, key, opts)
+	if err != nil {
+		writeEstimateErr(w, err)
 		return
 	}
 	exact := 0
@@ -229,9 +366,20 @@ func (s *Server) handleFarness(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := s.estimate(p)
+	key, opts, err := s.resolve(p)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	res, err := s.estimate(ctx, key, opts)
+	if err != nil {
+		writeEstimateErr(w, err)
 		return
 	}
 	if id < 0 || int(id) >= len(res.Farness) {
@@ -263,7 +411,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("k"); v != "" {
 		kk, err := strconv.Atoi(v)
 		if err != nil || kk <= 0 {
-			writeErr(w, http.StatusBadRequest, "bad k %q", v)
+			writeErr(w, http.StatusBadRequest, "bad k %q (want an integer ≥ 1)", v)
 			return
 		}
 		k = kk
@@ -273,17 +421,29 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opts, err := p.options()
+	_, opts, err := s.resolve(p)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	g := s.ix.Snapshot()
-	s.mu.Unlock()
-	res, err := topk.Closeness(g, k, topk.Options{Estimate: opts})
+	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	// Top-k runs bypass the estimate cache but still count against the
+	// admission bound: take a slot or shed the request.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		writeEstimateErr(w, errBusy)
+		return
+	}
+	res, err := topk.ClosenessContext(ctx, s.gen.Load().g, k, topk.Options{Estimate: opts})
+	if err != nil {
+		writeEstimateErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, topkBody{
@@ -302,6 +462,23 @@ type edgeResult struct {
 	Edges    int `json:"edges"`
 }
 
+// mutate applies one edge update under the mutation lock and, on success,
+// installs a fresh generation: new snapshot, empty cache, no flights. Runs
+// still computing against the old generation finish (and cache) there
+// harmlessly — new requests only ever see the new generation.
+func (s *Server) mutate(apply func() error) (affected, edges int, err error) {
+	s.ixMu.Lock()
+	defer s.ixMu.Unlock()
+	err = apply()
+	affected = s.ix.UpdatedLast
+	if err != nil {
+		return affected, s.gen.Load().g.NumEdges(), err
+	}
+	g := s.ix.Snapshot()
+	s.gen.Store(newGeneration(g))
+	return affected, g.NumEdges(), nil
+}
+
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
@@ -310,14 +487,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "bad body: %v", err)
 			return
 		}
-		s.mu.Lock()
-		err := s.ix.AddEdge(e.U, e.V)
-		affected := s.ix.UpdatedLast
-		if err == nil {
-			s.cache = make(map[string]*core.Result)
-		}
-		edges := s.ix.Snapshot().NumEdges()
-		s.mu.Unlock()
+		affected, edges, err := s.mutate(func() error { return s.ix.AddEdge(e.U, e.V) })
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
@@ -331,14 +501,9 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "u and v query params required")
 			return
 		}
-		s.mu.Lock()
-		err := s.ix.RemoveEdge(graph.NodeID(u), graph.NodeID(v))
-		affected := s.ix.UpdatedLast
-		if err == nil {
-			s.cache = make(map[string]*core.Result)
-		}
-		edges := s.ix.Snapshot().NumEdges()
-		s.mu.Unlock()
+		affected, edges, err := s.mutate(func() error {
+			return s.ix.RemoveEdge(graph.NodeID(u), graph.NodeID(v))
+		})
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
@@ -367,9 +532,7 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "from and to query params required")
 		return
 	}
-	s.mu.Lock()
-	g := s.ix.Snapshot()
-	s.mu.Unlock()
+	g := s.gen.Load().g
 	n := int64(g.NumNodes())
 	if from < 0 || to < 0 || from >= n || to >= n {
 		writeErr(w, http.StatusNotFound, "node out of range")

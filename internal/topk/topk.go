@@ -11,6 +11,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -51,6 +52,14 @@ type Result struct {
 
 // Closeness returns the k nodes with the smallest farness.
 func Closeness(g *graph.Graph, k int, opts Options) (*Result, error) {
+	return ClosenessContext(context.Background(), g, k, opts)
+}
+
+// ClosenessContext is Closeness with cooperative cancellation: the
+// underlying estimation run checks ctx at its stage boundaries, and the
+// verification phase checks it before (and inside) every exact traversal. A
+// canceled run returns a core.ErrCanceled-wrapping error.
+func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) (*Result, error) {
 	n := g.NumNodes()
 	if k <= 0 {
 		return nil, fmt.Errorf("topk: k = %d out of range", k)
@@ -61,7 +70,7 @@ func Closeness(g *graph.Graph, k int, opts Options) (*Result, error) {
 	if opts.Margin <= 0 {
 		opts.Margin = 0.15
 	}
-	est, err := core.Estimate(g, opts.Estimate)
+	est, err := core.EstimateContext(ctx, g, opts.Estimate)
 	if err != nil {
 		return nil, err
 	}
@@ -89,14 +98,16 @@ func Closeness(g *graph.Graph, k int, opts Options) (*Result, error) {
 	res := &Result{Certain: true, EstimateStats: est.Stats}
 	dist := make([]int32, n)
 	q := queue.NewFIFO(n)
-	exactOf := func(v graph.NodeID) float64 {
+	exactOf := func(v graph.NodeID) (float64, error) {
 		if est.Exact[v] {
-			return est.Farness[v]
+			return est.Farness[v], nil
 		}
-		bfs.Distances(g, v, dist, q)
+		if err := bfs.DistancesCtx(ctx, g, v, dist, q); err != nil {
+			return 0, err
+		}
 		sum, _ := bfs.Sum(dist)
 		res.Verified++
-		return float64(sum)
+		return float64(sum), nil
 	}
 
 	for idx, vi := range order {
@@ -123,7 +134,11 @@ func Closeness(g *graph.Graph, k int, opts Options) (*Result, error) {
 			}
 			break
 		}
-		insert(cand{v, exactOf(v)})
+		far, err := exactOf(v)
+		if err != nil {
+			return nil, err
+		}
+		insert(cand{v, far})
 	}
 
 	for _, c := range best {
