@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test vet check bench bench-reduction experiments fuzz cover
+.PHONY: build test vet check bench bench-reduction bench-traversal experiments fuzz cover
 
 build:
 	go build ./...
@@ -27,6 +27,13 @@ bench: bench-reduction
 # BENCH_reduction.json (see EXPERIMENTS.md for the discussion).
 bench-reduction:
 	go run ./cmd/experiments -only reduction -json BENCH_reduction.json
+
+# Traversal locality matrix: relabel ordering x traversal engine through the
+# full cumulative estimator, one dataset per generator family, recorded
+# machine-readably in BENCH_traversal.json (see EXPERIMENTS.md and DESIGN.md
+# section 8 for the discussion).
+bench-traversal:
+	go run ./cmd/experiments -only traversal -traversal-json BENCH_traversal.json
 
 # Regenerate every table and figure of the paper (about 4 CPU-minutes).
 experiments:

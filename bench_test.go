@@ -226,8 +226,9 @@ func BenchmarkTraversalKernels(b *testing.B) {
 		}
 	})
 	b.Run("direction-optimizing", func(b *testing.B) {
+		s := &bfs.Scratch{}
 		for i := 0; i < b.N; i++ {
-			bfs.DirectionOptimizing(g, graph.NodeID(i%n), dist, bfs.DefaultAlpha, bfs.DefaultBeta)
+			bfs.HybridDistances(g, graph.NodeID(i%n), dist, s)
 		}
 	})
 	b.Run("dial", func(b *testing.B) {

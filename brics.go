@@ -115,14 +115,41 @@ type TraversalMode = core.TraversalMode
 
 // Traversal modes. TraversalAuto batches sources into 64-wide bit-parallel
 // multi-source sweeps whenever at least 8 of them share a component or
-// biconnected block; TraversalPerSource and TraversalBatched force either
-// engine. Both engines produce identical farness values for the same seed —
-// batching only changes the wall-clock.
+// biconnected block, and otherwise runs the direction-optimising per-source
+// kernel; TraversalPerSource (plain top-down), TraversalBatched and
+// TraversalHybrid (direction-optimising, never batched) force one engine.
+// All engines produce identical farness values for the same seed — the
+// choice only changes the wall-clock.
 const (
 	TraversalAuto      = core.TraversalAuto
 	TraversalPerSource = core.TraversalPerSource
 	TraversalBatched   = core.TraversalBatched
+	TraversalHybrid    = core.TraversalHybrid
 )
+
+// RelabelMode selects a cache-aware node reordering applied to the reduced
+// graph (and each biconnected block) before the sampled traversals run: ids
+// are permuted so hot adjacency rows pack together, distance rows are mapped
+// back afterwards. A pure memory-layout knob — results are bit-identical to
+// RelabelNone at every worker count.
+type RelabelMode = graph.RelabelMode
+
+// Relabel modes. RelabelDegree orders nodes by descending degree (hub
+// packing, helps power-law graphs); RelabelBFS uses a Cuthill–McKee-style
+// breadth-first order (bandwidth reduction, helps meshes and road networks).
+const (
+	RelabelNone   = graph.RelabelNone
+	RelabelDegree = graph.RelabelDegree
+	RelabelBFS    = graph.RelabelBFS
+)
+
+// ParseRelabelMode converts a mode name ("none", "degree", "bfs" and a few
+// aliases) into a RelabelMode.
+func ParseRelabelMode(s string) (RelabelMode, error) { return graph.ParseRelabelMode(s) }
+
+// ParseTraversalMode converts an engine name ("auto", "per-source",
+// "batched", "hybrid") into a TraversalMode.
+func ParseTraversalMode(s string) (TraversalMode, error) { return core.ParseTraversalMode(s) }
 
 // Options configures Estimate; the zero value runs pure sampling at the
 // paper's default 20% fraction.

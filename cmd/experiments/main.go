@@ -10,13 +10,20 @@
 // traversal, reduction (default: all, in order). See EXPERIMENTS.md for the
 // recorded paper-vs-measured comparison. The reduction experiment times the
 // parallel preprocessing pipeline; -json additionally writes its rows as a
-// machine-readable report (used by `make bench-reduction`).
+// machine-readable report (used by `make bench-reduction`). The traversal
+// experiment runs the relabel-ordering × traversal-engine locality matrix;
+// -traversal-json writes it as BENCH_traversal.json (used by
+// `make bench-traversal`). -cpuprofile/-memprofile capture pprof profiles of
+// whatever subset runs — the intended workflow for chasing kernel
+// regressions spotted in the matrix.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,15 +33,37 @@ import (
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default stand-in sizes)")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		seed    = flag.Int64("seed", 1, "sampling seed")
-		only    = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,traversal,reduction,ablations,sweep")
-		jsonOut = flag.String("json", "", "write the reduction benchmark rows to this JSON file")
-		charts  = flag.Bool("charts", false, "render text bar charts in addition to the tables")
-		list    = flag.Bool("list", false, "list datasets and exit")
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default stand-in sizes)")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		seed       = flag.Int64("seed", 1, "sampling seed")
+		only       = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,traversal,reduction,ablations,sweep")
+		jsonOut    = flag.String("json", "", "write the reduction benchmark rows to this JSON file")
+		travOut    = flag.String("traversal-json", "", "write the traversal locality matrix to this JSON file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		charts     = flag.Bool("charts", false, "render text bar charts in addition to the tables")
+		list       = flag.Bool("list", false, "list datasets and exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			check(err)
+			runtime.GC() // materialise final live-set statistics
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}()
+	}
 
 	if *list {
 		fmt.Printf("%-28s %-10s %10s %10s %10s\n", "Name", "Class", "paper |V|", "paper |E|", "sim |V|")
@@ -120,6 +149,10 @@ func main() {
 		rows, err := experiments.TraversalBench(cfg, 0.2)
 		check(err)
 		experiments.FprintTraversal(os.Stdout, 0.2, rows)
+		if *travOut != "" {
+			check(experiments.WriteTraversalJSON(*travOut, cfg, 0.2, rows))
+			fmt.Printf("wrote %s\n", *travOut)
+		}
 		fmt.Println()
 	}
 	if run("reduction") {

@@ -6,7 +6,6 @@
 package bfs
 
 import (
-	"repro/internal/bitset"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/queue"
@@ -72,6 +71,26 @@ type Scratch struct {
 	Dist []int32
 	Q    *queue.FIFO
 	B    *queue.Bucket
+	// Direction-optimising frontier state (bitset words + two frontier
+	// buffers), allocated lazily on first hybrid traversal and pooled across
+	// sources like the rest of the scratch.
+	front          []uint64
+	frontier, spare []graph.NodeID
+}
+
+// hybridState returns the pooled direction-optimising buffers sized for an
+// n-node graph, growing them on first use or when a larger graph shows up.
+// The bitset words are returned zeroed (the kernel clears the bits it sets).
+func (s *Scratch) hybridState(n int) (front []uint64, frontier, spare []graph.NodeID) {
+	words := (n + 63) / 64
+	if len(s.front) < words {
+		s.front = make([]uint64, words)
+	}
+	if cap(s.frontier) < n {
+		s.frontier = make([]graph.NodeID, 0, n)
+		s.spare = make([]graph.NodeID, 0, n)
+	}
+	return s.front, s.frontier[:0], s.spare[:0]
 }
 
 // NewScratch allocates traversal scratch for an n-node graph whose edge
@@ -175,101 +194,6 @@ func wDistancesAutoDone(g *graph.WGraph, unweighted bool, src graph.NodeID, s *S
 		wDistancesDone(g, src, s.Dist, s.B, done)
 	}
 }
-
-// DirectionOptimizing runs a direction-optimising (push/pull hybrid) BFS
-// from src, the Beamer-style kernel that switches to bottom-up sweeps when
-// the frontier grows beyond a fraction of the remaining edges. On the
-// single-core reference platform it exists for the ablation benchmarks; on
-// multicore it pairs with level-parallel sweeps.
-//
-// alpha and beta are the classic switching parameters; DefaultAlpha and
-// DefaultBeta are reasonable for scale-free graphs.
-func DirectionOptimizing(g *graph.Graph, src graph.NodeID, dist []int32, alpha, beta int) {
-	n := g.NumNodes()
-	Fill(dist)
-	dist[src] = 0
-	frontier := []graph.NodeID{src}
-	visited := bitset.New(n)
-	visited.Set(int(src))
-	level := int32(0)
-	mf := int64(g.Degree(src)) // edges out of the frontier
-	mu := int64(2*g.NumEdges()) - mf
-
-	front := bitset.New(n)
-	next := bitset.New(n)
-
-	for len(frontier) > 0 {
-		if mf > mu/int64(alpha) {
-			// Switch to bottom-up until the frontier shrinks again.
-			front.Reset()
-			for _, v := range frontier {
-				front.Set(int(v))
-			}
-			// Always run at least one bottom-up sweep after switching:
-			// otherwise a frontier already below the n/beta threshold
-			// would bounce back to the top-down branch unchanged and
-			// the kernel would never make progress.
-			for {
-				next.Reset()
-				cnt := 0
-				for v := 0; v < n; v++ {
-					if visited.Test(v) {
-						continue
-					}
-					for _, u := range g.Neighbors(graph.NodeID(v)) {
-						if front.Test(int(u)) {
-							dist[v] = level + 1
-							visited.Set(v)
-							next.Set(v)
-							cnt++
-							break
-						}
-					}
-				}
-				level++
-				front, next = next, front
-				if cnt == 0 || cnt <= n/beta {
-					break
-				}
-			}
-			// Rebuild the sparse frontier and resume top-down.
-			frontier = frontier[:0]
-			front.ForEach(func(i int) {
-				frontier = append(frontier, graph.NodeID(i))
-			})
-			mf = 0
-			for _, v := range frontier {
-				mf += int64(g.Degree(v))
-			}
-			if len(frontier) == 0 {
-				break
-			}
-			continue
-		}
-		var nextFrontier []graph.NodeID
-		var nmf int64
-		for _, u := range frontier {
-			for _, v := range g.Neighbors(u) {
-				if !visited.Test(int(v)) {
-					visited.Set(int(v))
-					dist[v] = level + 1
-					nextFrontier = append(nextFrontier, v)
-					nmf += int64(g.Degree(v))
-				}
-			}
-		}
-		mu -= mf
-		mf = nmf
-		level++
-		frontier = nextFrontier
-	}
-}
-
-// Default direction-optimisation switching parameters (Beamer et al.).
-const (
-	DefaultAlpha = 14
-	DefaultBeta  = 24
-)
 
 // Eccentricity returns the largest finite distance in dist, i.e. the
 // eccentricity of the traversal's source within its component.

@@ -147,8 +147,10 @@ func TestWDistancesAgainstBellmanFord(t *testing.T) {
 	}
 }
 
-// Property: direction-optimising BFS agrees with plain BFS.
-func TestDirectionOptimizingMatchesBFS(t *testing.T) {
+// Property: direction-optimising BFS agrees with plain BFS, with the
+// scratch reused across traversals the way the per-source drivers reuse it.
+func TestHybridDistancesMatchesBFS(t *testing.T) {
+	s := &Scratch{}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := rng.Intn(120) + 2
@@ -157,7 +159,7 @@ func TestDirectionOptimizingMatchesBFS(t *testing.T) {
 		d1 := make([]int32, n)
 		d2 := make([]int32, n)
 		Distances(g, src, d1, nil)
-		DirectionOptimizing(g, src, d2, DefaultAlpha, DefaultBeta)
+		HybridDistances(g, src, d2, s)
 		for i := range d1 {
 			if d1[i] != d2[i] {
 				return false
@@ -170,8 +172,9 @@ func TestDirectionOptimizingMatchesBFS(t *testing.T) {
 	}
 }
 
-func TestDirectionOptimizingForcedBottomUp(t *testing.T) {
-	// alpha=1 forces an early switch to bottom-up on a dense graph.
+func TestHybridDistancesDenseBottomUp(t *testing.T) {
+	// A dense graph with a hub-heavy frontier drives mf past mu/alpha on the
+	// first level, so the pull branch actually runs.
 	rng := rand.New(rand.NewSource(3))
 	n := 60
 	b := graph.NewBuilder(n)
@@ -185,10 +188,30 @@ func TestDirectionOptimizingForcedBottomUp(t *testing.T) {
 	d1 := make([]int32, n)
 	d2 := make([]int32, n)
 	Distances(g, 0, d1, nil)
-	DirectionOptimizing(g, 0, d2, 1, 2)
+	HybridDistances(g, 0, d2, nil)
 	for i := range d1 {
 		if d1[i] != d2[i] {
-			t.Fatalf("dist[%d]: BFS=%d DO=%d", i, d1[i], d2[i])
+			t.Fatalf("dist[%d]: BFS=%d hybrid=%d", i, d1[i], d2[i])
+		}
+	}
+}
+
+// WHybridDistancesAuto matches WDistancesAuto on both unweighted and
+// weighted graphs (the latter shares the Dial path).
+func TestWHybridAutoMatchesWAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 90
+	g := randomConnected(rng, n)
+	wg := g.ToWeighted()
+	s1 := NewScratch(n, wg.MaxWeight())
+	s2 := NewScratch(n, wg.MaxWeight())
+	for src := int32(0); src < 10; src++ {
+		WDistancesAuto(wg, true, src, s1)
+		WHybridDistancesAuto(wg, true, src, s2)
+		for i := range s1.Dist {
+			if s1.Dist[i] != s2.Dist[i] {
+				t.Fatalf("src %d dist[%d]: auto=%d hybrid=%d", src, i, s1.Dist[i], s2.Dist[i])
+			}
 		}
 	}
 }

@@ -99,65 +99,135 @@ func MultiSource(g *graph.Graph, sources []graph.NodeID, visit func(v graph.Node
 // MultiSourceInto is MultiSource with caller-provided scratch, the form the
 // batch drivers use to avoid per-batch allocation.
 func MultiSourceInto(g *graph.Graph, sources []graph.NodeID, s *MSScratch, visit func(v graph.NodeID, lane int, d int32)) {
+	offsets, adj := g.CSR()
+	msLevelSync(offsets, adj, sources, s, visit)
+}
+
+// msLevelSync is the level-synchronous bit-parallel kernel over raw CSR
+// arrays, shared by the simple-graph and all-weights-one contracted-graph
+// entry points. Levels run top-down (push) until the frontier's out-edges
+// outgrow the unexplored edges by the alpha heuristic, then flip to
+// lane-masked bottom-up (pull) sweeps: every node missing at least one lane
+// scans its own neighbours, ORing in their current frontier masks, with an
+// early exit once all missing lanes are found. The per-(node, lane) visit
+// set of a level is the union over frontier neighbours either way, so push
+// and pull levels produce identical visits — only the scan order inside a
+// level differs, which the accumulating callers are insensitive to.
+func msLevelSync(offsets []int64, adj []graph.NodeID, sources []graph.NodeID, s *MSScratch, visit func(v graph.NodeID, lane int, d int32)) {
 	if len(sources) == 0 {
 		return
 	}
 	if len(sources) > MSBFSWidth {
 		panic("bfs: MultiSource supports at most 64 sources per batch")
 	}
-	n := g.NumNodes()
+	n := len(offsets) - 1
 	s.reset(n)
 	seen, cur, next := s.seen, s.cur, s.next
 	frontier := s.frontier[:0]
+	var active uint64 // union of all source lanes: the "fully seen" mask
+	var mf int64      // out-edges of the current frontier
 	for lane, src := range sources {
 		// Duplicate source nodes share one frontier slot (their lanes ride
 		// the same mask) but each lane still gets its zero-distance visit.
 		visit(src, lane, 0)
 		if seen[src] == 0 {
 			frontier = append(frontier, src)
+			mf += offsets[src+1] - offsets[src]
 		}
 		seen[src] |= uint64(1) << uint(lane)
+		active |= uint64(1) << uint(lane)
 	}
 	for _, src := range sources {
 		cur[src] = seen[src]
 	}
 
+	mu := int64(len(adj)) - mf
+	bottomUp := false
 	touched := s.touched[:0]
 	for d := int32(1); len(frontier) > 0; d++ {
 		if par.Interrupted(s.done) {
 			break
 		}
-		touched = touched[:0]
-		for _, u := range frontier {
-			m := cur[u]
-			for _, w := range g.Neighbors(u) {
-				if next[w] == 0 {
-					touched = append(touched, w)
+		// Same direction rule as the per-source hybrid kernel (see
+		// pullLevel); here mf counts the union frontier's out-edges, which
+		// with up to 64 overlapping lanes crosses the pull thresholds far
+		// more often — and a single shared pull sweep serves all lanes.
+		bottomUp = pullLevel(mf, mu, len(frontier), n)
+		var nmf int64
+		if bottomUp {
+			// Pull: nodes missing lanes gather them from their neighbours'
+			// frontier masks. touched receives the new frontier so the two
+			// buffers alternate.
+			newFrontier := touched[:0]
+			for v := 0; v < n; v++ {
+				want := active &^ seen[v]
+				if want == 0 {
+					continue
 				}
-				next[w] |= m
+				var nw uint64
+				for _, w := range adj[offsets[v]:offsets[v+1]] {
+					if m := cur[w] & want; m != 0 {
+						nw |= m
+						if nw == want {
+							break
+						}
+					}
+				}
+				if nw == 0 {
+					continue
+				}
+				next[v] = nw
+				newFrontier = append(newFrontier, graph.NodeID(v))
 			}
-		}
-		// The level is fully scanned: clear the old frontier's lane masks,
-		// then commit the new lanes per touched node, the visits, and the
-		// next frontier.
-		for _, u := range frontier {
-			cur[u] = 0
-		}
-		newFrontier := frontier[:0]
-		for _, w := range touched {
-			nw := next[w] &^ seen[w]
-			next[w] = 0
-			if nw == 0 {
-				continue
+			for _, u := range frontier {
+				cur[u] = 0
 			}
-			seen[w] |= nw
-			cur[w] = nw
-			newFrontier = append(newFrontier, w)
-			for m := nw; m != 0; m &= m - 1 {
-				visit(w, bits.TrailingZeros64(m), d)
+			for _, v := range newFrontier {
+				nw := next[v]
+				next[v] = 0
+				seen[v] |= nw
+				cur[v] = nw
+				nmf += offsets[v+1] - offsets[v]
+				for m := nw; m != 0; m &= m - 1 {
+					visit(v, bits.TrailingZeros64(m), d)
+				}
 			}
+			frontier, touched = newFrontier, frontier
+		} else {
+			// Push: scan the frontier's out-edges, collecting touched nodes,
+			// then commit lanes, visits and the next frontier.
+			touched = touched[:0]
+			for _, u := range frontier {
+				m := cur[u]
+				for _, w := range adj[offsets[u]:offsets[u+1]] {
+					if next[w] == 0 {
+						touched = append(touched, w)
+					}
+					next[w] |= m
+				}
+			}
+			for _, u := range frontier {
+				cur[u] = 0
+			}
+			newFrontier := frontier[:0]
+			for _, w := range touched {
+				nw := next[w] &^ seen[w]
+				next[w] = 0
+				if nw == 0 {
+					continue
+				}
+				seen[w] |= nw
+				cur[w] = nw
+				newFrontier = append(newFrontier, w)
+				nmf += offsets[w+1] - offsets[w]
+				for m := nw; m != 0; m &= m - 1 {
+					visit(w, bits.TrailingZeros64(m), d)
+				}
+			}
+			frontier = newFrontier
 		}
-		frontier = newFrontier
+		mu -= mf
+		mf = nmf
 	}
 	s.frontier = frontier[:0]
 	s.touched = touched[:0]

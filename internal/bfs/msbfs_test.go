@@ -132,3 +132,43 @@ func BenchmarkMultiSourceVsSequential(b *testing.B) {
 		}
 	})
 }
+
+// A dense graph with a full 64-lane batch drives the level-sync kernel
+// through its lane-masked bottom-up branch (mf exceeds mu/alpha on the
+// first level); visits must still match sequential BFS exactly.
+func TestMultiSourceDenseBottomUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 400
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddEdge(int32(rng.Intn(i)), int32(i))
+	}
+	for i := 0; i < 20*n; i++ {
+		_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	g := b.Build()
+	sources := make([]graph.NodeID, MSBFSWidth)
+	for i := range sources {
+		sources[i] = graph.NodeID(rng.Intn(n))
+	}
+	rows := make([][]int32, len(sources))
+	for i := range rows {
+		rows[i] = make([]int32, n)
+		Fill(rows[i])
+	}
+	MultiSource(g, sources, func(v graph.NodeID, lane int, d int32) {
+		if rows[lane][v] != Unreached {
+			t.Fatalf("duplicate visit for lane %d node %d", lane, v)
+		}
+		rows[lane][v] = d
+	})
+	dist := make([]int32, n)
+	for lane, s := range sources {
+		Distances(g, s, dist, nil)
+		for v := range dist {
+			if rows[lane][v] != dist[v] {
+				t.Fatalf("lane %d node %d: got %d want %d", lane, v, rows[lane][v], dist[v])
+			}
+		}
+	}
+}

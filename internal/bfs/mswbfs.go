@@ -115,65 +115,13 @@ func MultiSourceWInto(g *graph.WGraph, sources []graph.NodeID, s *MSScratch, vis
 
 // multiSourceLevelSyncW is the unweighted multi-source kernel running over a
 // WGraph whose weights are all 1 (the common case after reductions that
-// contracted nothing); it avoids the bucket ring entirely. Callers
-// guarantee the all-weights-one precondition (graph.WGraph.Unweighted).
+// contracted nothing); it avoids the bucket ring entirely and shares the
+// direction-optimising level-sync kernel with the simple-graph entry point.
+// Callers guarantee the all-weights-one precondition
+// (graph.WGraph.Unweighted).
 func multiSourceLevelSyncW(g *graph.WGraph, sources []graph.NodeID, s *MSScratch, visit func(v graph.NodeID, lane int, d int32)) {
-	if len(sources) == 0 {
-		return
-	}
-	if len(sources) > MSBFSWidth {
-		panic("bfs: MultiSourceW supports at most 64 sources per batch")
-	}
-	n := g.NumNodes()
-	s.reset(n)
-	seen, cur, next := s.seen, s.cur, s.next
-	frontier := s.frontier[:0]
-	for lane, src := range sources {
-		visit(src, lane, 0)
-		if seen[src] == 0 {
-			frontier = append(frontier, src)
-		}
-		seen[src] |= uint64(1) << uint(lane)
-	}
-	for _, src := range sources {
-		cur[src] = seen[src]
-	}
-	touched := s.touched[:0]
-	for d := int32(1); len(frontier) > 0; d++ {
-		if par.Interrupted(s.done) {
-			break
-		}
-		touched = touched[:0]
-		for _, u := range frontier {
-			m := cur[u]
-			for _, w := range g.Neighbors(u) {
-				if next[w] == 0 {
-					touched = append(touched, w)
-				}
-				next[w] |= m
-			}
-		}
-		for _, u := range frontier {
-			cur[u] = 0
-		}
-		newFrontier := frontier[:0]
-		for _, w := range touched {
-			nw := next[w] &^ seen[w]
-			next[w] = 0
-			if nw == 0 {
-				continue
-			}
-			seen[w] |= nw
-			cur[w] = nw
-			newFrontier = append(newFrontier, w)
-			for m := nw; m != 0; m &= m - 1 {
-				visit(w, bits.TrailingZeros64(m), d)
-			}
-		}
-		frontier = newFrontier
-	}
-	s.frontier = frontier[:0]
-	s.touched = touched[:0]
+	offsets, adj, _ := g.CSR()
+	msLevelSync(offsets, adj, sources, s, visit)
 }
 
 // MultiSourceWRows fills rows[lane][v] with the shortest-path distance from

@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -17,6 +18,19 @@ import (
 //
 // dist must have length g.NumNodes(); it is fully overwritten.
 func ParallelDistances(g *graph.Graph, src graph.NodeID, dist []int32, workers int) {
+	parallelDistancesDone(g, src, dist, workers, nil)
+}
+
+// ParallelDistancesCtx is ParallelDistances with cooperative cancellation,
+// polled once per frontier level (each level is a bounded parallel sweep,
+// so cancellation latency is one level's fan-out). A non-nil return means
+// dist is partial and must be discarded.
+func ParallelDistancesCtx(ctx context.Context, g *graph.Graph, src graph.NodeID, dist []int32, workers int) error {
+	parallelDistancesDone(g, src, dist, workers, ctx.Done())
+	return par.CtxErr(ctx)
+}
+
+func parallelDistancesDone(g *graph.Graph, src graph.NodeID, dist []int32, workers int, done <-chan struct{}) {
 	workers = par.Workers(workers)
 	for i := range dist {
 		dist[i] = Unreached
@@ -26,6 +40,9 @@ func ParallelDistances(g *graph.Graph, src graph.NodeID, dist []int32, workers i
 	nexts := make([][]graph.NodeID, workers)
 
 	for level := int32(1); len(frontier) > 0; level++ {
+		if par.Interrupted(done) {
+			return
+		}
 		if len(frontier) < 4*workers {
 			// Small frontier: sequential sweep avoids the fan-out cost.
 			var next []graph.NodeID

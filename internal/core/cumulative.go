@@ -225,12 +225,57 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 			maxBlockNodes = len(d.BlockNodes[b])
 		}
 	}
-	localCutPos := make([][]int32, nb) // per block, per cut: local node index
+
+	// Cache-aware relabeling, block-local edition: each block graph is
+	// rebuilt under the requested ordering and blockPerm[b] maps canonical
+	// local ids to relabeled ones. Sampling, event replay and the cut
+	// bookkeeping all stay canonical — only traversal sources map through
+	// the permutation on the way in and distance rows map back on the way
+	// out, so farness is bit-identical to the unrelabeled run.
+	// blockScatter composes each block's inverse permutation with the
+	// member→original map (blockScatter[b][traversal-local id] = original
+	// id), so a relabeled distance row scatters with one sequential read per
+	// node instead of a gather through the permutation.
+	var blockPerm, blockScatter [][]graph.NodeID
+	if opts.Relabel != graph.RelabelNone {
+		blockPerm = make([][]graph.NodeID, nb)
+		blockScatter = make([][]graph.NodeID, nb)
+		if err := par.ForBlocksCtx(ctx, nb, opts.Workers, func(_, lo, hi int) {
+			for b := lo; b < hi; b++ {
+				rg, r := graph.RelabelW(localG[b], opts.Relabel, 1)
+				if r == nil {
+					continue
+				}
+				localG[b], blockPerm[b] = rg, r.Perm
+				members := d.BlockNodes[b]
+				sc := make([]graph.NodeID, len(r.Inv))
+				for j, li := range r.Inv {
+					sc[j] = red.ToOld[members[li]]
+				}
+				blockScatter[b] = sc
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// localSrc converts a reduced-graph source id to its traversal-space
+	// block-local index.
+	localSrc := func(b int32, src graph.NodeID) graph.NodeID {
+		li := graph.NodeID(localIndex(d.BlockNodes[b], src))
+		if blockPerm != nil && blockPerm[b] != nil {
+			return blockPerm[b][li]
+		}
+		return li
+	}
+
+	// localCutPos holds, per block and cut, the cut's index into the block's
+	// traversal-space distance rows (i.e. already mapped through blockPerm).
+	localCutPos := make([][]int32, nb)
 	for b := 0; b < nb; b++ {
 		cuts := tree.BlockCuts[b]
 		localCutPos[b] = make([]int32, len(cuts))
 		for i, ci := range cuts {
-			localCutPos[b][i] = int32(localIndex(d.BlockNodes[b], tree.Cuts[ci]))
+			localCutPos[b][i] = int32(localSrc(int32(b), tree.Cuts[ci]))
 		}
 	}
 	prep := time.Since(prepStart)
@@ -355,23 +400,33 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 		scratch[i] = w
 	}
 
-	// extendBlock scatters a block-local distance row to original ids and
+	// extendBlock scatters a block-local distance row (in traversal-space
+	// ids, i.e. through blockPerm when relabeled) to original ids and
 	// replays the block's removal events, exactly as a per-source
 	// traversal would.
 	extendBlock := func(w *ws, b int32, dist []int32) {
-		members := d.BlockNodes[b]
-		for j, m := range members {
-			w.distOrig[red.ToOld[m]] = dist[j]
+		if blockScatter != nil && blockScatter[b] != nil {
+			for j, o := range blockScatter[b] {
+				w.distOrig[o] = dist[j]
+			}
+		} else {
+			for j, m := range d.BlockNodes[b] {
+				w.distOrig[red.ToOld[m]] = dist[j]
+			}
 		}
 		evs := blockEvents[b]
 		for i := len(evs) - 1; i >= 0; i-- {
 			red.Events[evs[i]].Extend(w.distOrig)
 		}
 	}
+	useHybrid := opts.Traversal.hybrid()
 	runBlockSource := func(w *ws, b int32, src graph.NodeID) {
-		members := d.BlockNodes[b]
-		dist := w.s.Dist[:len(members)]
-		_ = bfs.WDistancesCtx(ctx, localG[b], graph.NodeID(localIndex(members, src)), dist, w.s.B)
+		dist := w.s.Dist[:len(d.BlockNodes[b])]
+		if useHybrid && localUnw[b] {
+			_ = bfs.WHybridDistancesBFSCtx(ctx, localG[b], localSrc(b, src), dist, w.s)
+		} else {
+			_ = bfs.WDistancesCtx(ctx, localG[b], localSrc(b, src), dist, w.s.B)
+		}
 		extendBlock(w, b, dist)
 	}
 
@@ -443,7 +498,11 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 		if len(t.srcs) == 1 {
 			src := t.srcs[0]
 			dist := w.s.Dist[:len(members)]
-			_ = bfs.WDistancesCtx(ctx, localG[t.b], graph.NodeID(localIndex(members, src)), dist, w.s.B)
+			if useHybrid && localUnw[t.b] {
+				_ = bfs.WHybridDistancesBFSCtx(ctx, localG[t.b], localSrc(t.b, src), dist, w.s)
+			} else {
+				_ = bfs.WDistancesCtx(ctx, localG[t.b], localSrc(t.b, src), dist, w.s.B)
+			}
 			if par.Interrupted(done) {
 				return // partial row; the whole run is about to error out
 			}
@@ -454,7 +513,7 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 		// per-lane post-processing is identical to the per-source path.
 		locals := w.locals[:len(t.srcs)]
 		for i, s := range t.srcs {
-			locals[i] = graph.NodeID(localIndex(members, s))
+			locals[i] = localSrc(t.b, s)
 		}
 		rows := w.views[:len(t.srcs)]
 		for i := range rows {

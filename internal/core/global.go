@@ -66,6 +66,17 @@ func estimateGlobal(ctx context.Context, red *reduce.Reduction, opts *Options) (
 	workers := par.Workers(opts.Workers)
 	unweighted := red.G.Unweighted()
 	maxW := red.G.MaxWeight()
+	// Traversals run on the (possibly cache-relabeled) copy of the reduced
+	// graph; sampling above and the removal log stay canonical, so results
+	// are independent of the ordering. Sources map through perm on the way
+	// in, distance rows map back through ScatterPerm on the way out.
+	tg, perm := red.TraversalGraph()
+	permOf := func(sR graph.NodeID) graph.NodeID {
+		if perm != nil {
+			return perm[sR]
+		}
+		return sR
+	}
 
 	acc := make([]int64, n)      // Σ over sources of d(s, ·), original ids
 	exactFar := make([]int64, n) // exact farness of sampled nodes
@@ -113,13 +124,23 @@ func estimateGlobal(ctx context.Context, red *reduce.Reduction, opts *Options) (
 	}
 
 	if opts.Traversal.batched(k) {
-		// Batched engine: 64-wide multi-source sweeps over the reduced
+		// Batched engine: 64-wide multi-source sweeps over the traversal
 		// graph; each lane's row is scattered and extended exactly like a
 		// per-source traversal, so the accumulated integers are identical.
-		err := bfs.RunBatchesWCtx(ctx, red.G, samplesReduced, workers, func(worker, _ int, batch []graph.NodeID, rows [][]int32) {
+		// Sources are handed over in traversal-graph ids; the handler's base
+		// index recovers each lane's canonical sample.
+		sourcesT := samplesReduced
+		if perm != nil {
+			sourcesT = make([]graph.NodeID, k)
+			for i, sR := range samplesReduced {
+				sourcesT[i] = perm[sR]
+			}
+		}
+		err := bfs.RunBatchesWCtx(ctx, tg, sourcesT, workers, func(worker, base int, batch []graph.NodeID, rows [][]int32) {
 			w := &scratch[worker]
-			for lane, srcR := range batch {
-				red.Scatter(rows[lane], w.distOrig)
+			for lane := range batch {
+				srcR := samplesReduced[base+lane]
+				red.ScatterPerm(rows[lane], perm, w.distOrig)
 				red.Extend(w.distOrig)
 				accumulateRow(w, red.ToOld[srcR])
 			}
@@ -141,11 +162,15 @@ func estimateGlobal(ctx context.Context, red *reduce.Reduction, opts *Options) (
 			w := &scratch[worker]
 			if i < k {
 				srcR := samplesReduced[i]
-				_ = bfs.WDistancesAutoCtx(ctx, red.G, unweighted, srcR, w.s)
+				if unweighted && opts.Traversal.hybrid() {
+					_ = bfs.WHybridDistancesAutoCtx(ctx, tg, true, permOf(srcR), w.s)
+				} else {
+					_ = bfs.WDistancesAutoCtx(ctx, tg, unweighted, permOf(srcR), w.s)
+				}
 				if par.Interrupted(done) {
 					return // partial row; the whole run is about to error out
 				}
-				red.Scatter(w.s.Dist, w.distOrig)
+				red.ScatterPerm(w.s.Dist, perm, w.distOrig)
 				red.Extend(w.distOrig)
 				accumulateRow(w, red.ToOld[srcR])
 				return

@@ -111,18 +111,30 @@ func RandomSamplingModeContext(ctx context.Context, g *graph.Graph, fraction flo
 			return nil, err
 		}
 	} else {
+		hybrid := mode.hybrid()
 		type ws struct {
 			dist []int32
 			q    *queue.FIFO
+			s    *bfs.Scratch
 		}
 		scratch := make([]ws, workers)
 		for i := range scratch {
-			scratch[i] = ws{dist: make([]int32, n), q: queue.NewFIFO(n)}
+			w := ws{dist: make([]int32, n)}
+			if hybrid {
+				w.s = &bfs.Scratch{}
+			} else {
+				w.q = queue.NewFIFO(n)
+			}
+			scratch[i] = w
 		}
 		err := par.ForDynamicCtx(ctx, k, workers, 1, func(worker, i int) {
 			s := &scratch[worker]
 			src := samples[i]
-			_ = bfs.DistancesCtx(ctx, g, src, s.dist, s.q)
+			if hybrid {
+				_ = bfs.HybridDistancesCtx(ctx, g, src, s.dist, s.s)
+			} else {
+				_ = bfs.DistancesCtx(ctx, g, src, s.dist, s.q)
+			}
 			if par.Interrupted(done) {
 				return // partial row; the whole run is about to error out
 			}

@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // TraversalMode selects the traversal engine the estimators use for their
 // sampled sources.
 type TraversalMode int
@@ -8,17 +10,23 @@ const (
 	// TraversalAuto (default) picks TraversalBatched whenever at least
 	// batchMinSources sampled sources share a traversal unit — the whole
 	// (reduced) graph for the global estimators, one biconnected block for
-	// the cumulative one — and TraversalPerSource below that, where batch
-	// setup costs outweigh the shared edge scans.
+	// the cumulative one — and the direction-optimising per-source kernel
+	// below that, where batch setup costs outweigh the shared edge scans.
 	TraversalAuto TraversalMode = iota
-	// TraversalPerSource runs one BFS/Dial per sampled source, parallel
-	// across sources (the original engine).
+	// TraversalPerSource runs one plain top-down BFS/Dial per sampled
+	// source, parallel across sources (the original engine).
 	TraversalPerSource
 	// TraversalBatched groups sources into ≤64-wide bit-parallel batches
 	// that share edge scans (see internal/bfs MultiSource/MultiSourceW)
 	// and fans the batches out across the worker pool. Farness output is
 	// bit-identical to TraversalPerSource for the same seed.
 	TraversalBatched
+	// TraversalHybrid forces the direction-optimising (push/pull) per-source
+	// BFS kernel for unweighted traversals, never batching. Weighted
+	// traversals keep Dial's algorithm — pull sweeps need the unit-weight
+	// guarantee. Farness output is bit-identical to the other modes: BFS
+	// levels are unique, so push and pull produce the same distances.
+	TraversalHybrid
 )
 
 // batchMinSources is the Auto threshold: below 8 sources in a traversal
@@ -33,20 +41,46 @@ func (m TraversalMode) String() string {
 		return "per-source"
 	case TraversalBatched:
 		return "batched"
+	case TraversalHybrid:
+		return "hybrid"
 	default:
 		return "auto"
 	}
+}
+
+// ParseTraversalMode converts a mode name (as produced by String, with a few
+// aliases) into a TraversalMode; the empty string is Auto.
+func ParseTraversalMode(s string) (TraversalMode, error) {
+	switch s {
+	case "", "auto":
+		return TraversalAuto, nil
+	case "per-source", "persource", "sequential":
+		return TraversalPerSource, nil
+	case "batched", "batch", "msbfs":
+		return TraversalBatched, nil
+	case "hybrid", "direction-optimizing", "do":
+		return TraversalHybrid, nil
+	}
+	return 0, fmt.Errorf("core: unknown traversal mode %q (want auto, per-source, batched or hybrid)", s)
 }
 
 // batched reports whether a traversal unit with k sampled sources should
 // use the batched engine under this mode.
 func (m TraversalMode) batched(k int) bool {
 	switch m {
-	case TraversalPerSource:
+	case TraversalPerSource, TraversalHybrid:
 		return false
 	case TraversalBatched:
 		return k > 0
 	default:
 		return k >= batchMinSources
 	}
+}
+
+// hybrid reports whether per-source unweighted traversals should use the
+// direction-optimising kernel under this mode. True for Hybrid (forced) and
+// Auto (the hybrid kernel degrades to plain top-down levels on graphs where
+// pull never pays, so Auto loses nothing by defaulting to it).
+func (m TraversalMode) hybrid() bool {
+	return m == TraversalHybrid || m == TraversalAuto
 }

@@ -1,33 +1,43 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/graph"
 )
 
-// TraversalRow compares the per-source and batched traversal engines on one
-// dataset at the paper's 20% sampling fraction. Both engines produce
-// identical farness values for the same seed, so only wall-clock is
-// reported: RandomPS/RandomB time the unreduced-graph baseline
-// (Algorithm 1), CumPS/CumB the full cumulative estimator, and the Ratio
-// columns are per-source over batched (>1 means batching wins).
+// TraversalRow is one (dataset, relabel ordering, traversal engine) point of
+// the locality matrix: full cumulative-estimate wall-clock at 20% sampling,
+// the traversal-phase share of it, and the speedup over the same dataset's
+// default configuration (relabel=none, traversal=auto). Every cell produces
+// bit-identical farness values — the matrix isolates pure memory-layout and
+// kernel-direction effects.
 type TraversalRow struct {
-	Dataset     gen.Dataset
-	RandomPS    time.Duration
-	RandomB     time.Duration
-	RandomRatio float64
-	CumPS       time.Duration
-	CumB        time.Duration
-	CumRatio    float64
+	Dataset   gen.Dataset   `json:"-"`
+	Name      string        `json:"name"`
+	Class     string        `json:"class"`
+	Relabel   string        `json:"relabel"`
+	Traversal string        `json:"traversal"`
+	Total     time.Duration `json:"total_ns"`
+	Traverse  time.Duration `json:"traverse_ns"`
+	Speedup   float64       `json:"speedup_vs_default"`
 }
 
-// TraversalBench measures the engines head to head on one dataset per
-// graph class (the first stand-in of each family keeps the sweep under a
-// few seconds at default scale).
+// traversalOrderings and traversalEngines span the matrix axes.
+var traversalOrderings = []graph.RelabelMode{graph.RelabelNone, graph.RelabelDegree, graph.RelabelBFS}
+var traversalEngines = []core.TraversalMode{core.TraversalAuto, core.TraversalPerSource, core.TraversalBatched, core.TraversalHybrid}
+
+// TraversalBench measures the full ordering×engine matrix on one dataset per
+// graph class. Each cell is the best of two runs (the first run pays
+// allocator warm-up); the speedup column compares against the (none, auto)
+// cell of the same dataset, i.e. what the estimator does with no knobs set.
 func TraversalBench(cfg Config, fraction float64) ([]TraversalRow, error) {
 	if fraction <= 0 {
 		fraction = 0.2
@@ -40,56 +50,100 @@ func TraversalBench(cfg Config, fraction float64) ([]TraversalRow, error) {
 		}
 		seen[ds.Class] = true
 		g := ds.Build()
-
-		row := TraversalRow{Dataset: ds}
-		start := time.Now()
-		core.RandomSamplingMode(g, fraction, cfg.Workers, cfg.Seed, core.TraversalPerSource)
-		row.RandomPS = time.Since(start)
-		start = time.Now()
-		core.RandomSamplingMode(g, fraction, cfg.Workers, cfg.Seed, core.TraversalBatched)
-		row.RandomB = time.Since(start)
-
-		estimate := func(mode core.TraversalMode) (time.Duration, error) {
-			start := time.Now()
-			_, err := core.Estimate(g, core.Options{
-				Techniques:     core.TechCumulative,
-				SampleFraction: fraction,
-				Workers:        cfg.Workers,
-				Seed:           cfg.Seed,
-				Traversal:      mode,
-			})
-			return time.Since(start), err
+		var baseline time.Duration
+		for _, ord := range traversalOrderings {
+			for _, eng := range traversalEngines {
+				row := TraversalRow{
+					Dataset:   ds,
+					Name:      ds.Name,
+					Class:     string(ds.Class),
+					Relabel:   ord.String(),
+					Traversal: eng.String(),
+				}
+				for rep := 0; rep < 2; rep++ {
+					start := time.Now()
+					res, err := core.Estimate(g, core.Options{
+						Techniques:     core.TechCumulative,
+						SampleFraction: fraction,
+						Workers:        cfg.Workers,
+						Seed:           cfg.Seed,
+						Traversal:      eng,
+						Relabel:        ord,
+					})
+					total := time.Since(start)
+					if err != nil {
+						return nil, fmt.Errorf("%s %s/%s: %v", ds.Name, ord, eng, err)
+					}
+					if rep == 0 || total < row.Total {
+						row.Total = total
+						row.Traverse = res.Stats.Traverse
+					}
+				}
+				if ord == graph.RelabelNone && eng == core.TraversalAuto {
+					baseline = row.Total
+				}
+				if row.Total > 0 {
+					row.Speedup = float64(baseline) / float64(row.Total)
+				}
+				rows = append(rows, row)
+			}
 		}
-		var err error
-		if row.CumPS, err = estimate(core.TraversalPerSource); err != nil {
-			return nil, fmt.Errorf("%s: %v", ds.Name, err)
-		}
-		if row.CumB, err = estimate(core.TraversalBatched); err != nil {
-			return nil, fmt.Errorf("%s: %v", ds.Name, err)
-		}
-		row.RandomRatio = ratio(row.RandomPS, row.RandomB)
-		row.CumRatio = ratio(row.CumPS, row.CumB)
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-func ratio(a, b time.Duration) float64 {
-	if b <= 0 {
-		return 0
+// FprintTraversal renders the locality matrix; speedup >1 means the
+// configuration beats the default (relabel=none, traversal=auto) on that
+// dataset.
+func FprintTraversal(w io.Writer, fraction float64, rows []TraversalRow) {
+	fmt.Fprintf(w, "Traversal locality matrix: relabel ordering x engine, cumulative estimate at %.0f%% sampling\n", fraction*100)
+	fmt.Fprintf(w, "(identical farness in every cell; speedup is vs the same dataset's relabel=none/traversal=auto run)\n")
+	fmt.Fprintf(w, "%-28s %-10s %-8s %-11s %10s %10s %8s\n",
+		"Graph", "Class", "relabel", "engine", "traverse", "total", "speedup")
+	prev := ""
+	for _, r := range rows {
+		name, class := r.Name, r.Class
+		if name == prev {
+			name, class = "", ""
+		} else {
+			prev = name
+		}
+		fmt.Fprintf(w, "%-28s %-10s %-8s %-11s %10s %10s %7.2fx\n",
+			name, class, r.Relabel, r.Traversal, fmtDur(r.Traverse), fmtDur(r.Total), r.Speedup)
 	}
-	return float64(a) / float64(b)
 }
 
-// FprintTraversal renders the engine comparison with the per-source/batched
-// wall-clock ratios.
-func FprintTraversal(w io.Writer, fraction float64, rows []TraversalRow) {
-	fmt.Fprintf(w, "Traversal engines: per-source vs batched 64-wide multi-source at %.0f%% sampling\n", fraction*100)
-	fmt.Fprintf(w, "%-28s %-10s %10s %10s %8s %10s %10s %8s\n",
-		"Graph", "Class", "RandPS", "RandBatch", "xRand", "CumPS", "CumBatch", "xCum")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%-28s %-10s %10s %10s %7.2fx %10s %10s %7.2fx\n",
-			r.Dataset.Name, r.Dataset.Class, fmtDur(r.RandomPS), fmtDur(r.RandomB), r.RandomRatio,
-			fmtDur(r.CumPS), fmtDur(r.CumB), r.CumRatio)
+// traversalReport is the BENCH_traversal.json document.
+type traversalReport struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	Scale      float64        `json:"scale"`
+	Fraction   float64        `json:"fraction"`
+	Note       string         `json:"note"`
+	Rows       []TraversalRow `json:"rows"`
+}
+
+// WriteTraversalJSON writes the locality matrix to path as JSON so
+// `make bench-traversal` leaves a machine-readable record next to the text
+// table.
+func WriteTraversalJSON(path string, cfg Config, fraction float64, rows []TraversalRow) error {
+	rep := traversalReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Scale:      cfg.scale(),
+		Fraction:   fraction,
+		Note: "Full cumulative-estimate wall-clock per (relabel ordering, traversal engine) cell; " +
+			"every cell produces bit-identical farness. speedup_vs_default compares against the " +
+			"relabel=none/traversal=auto cell of the same dataset.",
+		Rows: rows,
 	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -66,6 +66,14 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	return lo < len(nbrs) && nbrs[lo] == v
 }
 
+// CSR exposes the raw offsets and adjacency arrays. The hot traversal
+// kernels (direction-optimising sweeps, bit-parallel multi-source) iterate
+// the arrays directly instead of paying a method call per node. Both slices
+// alias the graph's storage and must not be modified.
+func (g *Graph) CSR() (offsets []int64, adj []NodeID) {
+	return g.offsets, g.adj
+}
+
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
@@ -154,6 +162,12 @@ func (g *WGraph) Neighbors(v NodeID) []NodeID {
 // aliases graph storage.
 func (g *WGraph) Weights(v NodeID) []int32 {
 	return g.weights[g.offsets[v]:g.offsets[v+1]]
+}
+
+// CSR exposes the raw offsets, adjacency and weight arrays (see Graph.CSR).
+// All three slices alias the graph's storage and must not be modified.
+func (g *WGraph) CSR() (offsets []int64, adj []NodeID, weights []int32) {
+	return g.offsets, g.adj, g.weights
 }
 
 // EdgeWeight returns the weight of edge {u, v} and whether it exists.

@@ -1,0 +1,66 @@
+// Locality benchmark for the CSR relabeling layer: the same BFS-per-source
+// workload the estimators run, over the original and relabeled orderings of
+// each generator family. Lives in the external test package so it can use
+// the gen and bfs packages without an import cycle.
+package graph_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bfs"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// BenchmarkRelabelLocality measures full BFS sweeps from a fixed set of
+// sources under each ordering. The work (nodes and edges relaxed) is
+// identical across orderings; any delta is pure memory-layout effect.
+func BenchmarkRelabelLocality(b *testing.B) {
+	families := []struct {
+		name string
+		make func(n int, seed int64) *graph.Graph
+	}{
+		{"web", gen.Web},
+		{"social", gen.Social},
+		{"community", gen.Community},
+		{"road", gen.Road},
+	}
+	const n, sources = 20000, 16
+	for _, fam := range families {
+		base := graph.Connect(fam.make(n, 1))
+		for _, mode := range []graph.RelabelMode{graph.RelabelNone, graph.RelabelDegree, graph.RelabelBFS} {
+			g, r := graph.Relabel(base, mode, 0)
+			src := make([]graph.NodeID, sources)
+			for i := range src {
+				s := graph.NodeID(i * (n / sources))
+				if r != nil {
+					s = r.Perm[s]
+				}
+				src[i] = s
+			}
+			b.Run(fmt.Sprintf("%s/%s", fam.name, mode), func(b *testing.B) {
+				s := bfs.NewScratch(g.NumNodes(), 0)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					bfs.Distances(g, src[i%sources], s.Dist, s.Q)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRelabelBuild measures the cost of computing and applying the
+// permutations themselves — the one-off price the estimation path pays
+// before its traversals.
+func BenchmarkRelabelBuild(b *testing.B) {
+	base := graph.Connect(gen.Social(50000, 1))
+	for _, mode := range []graph.RelabelMode{graph.RelabelDegree, graph.RelabelBFS} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graph.Relabel(base, mode, 0)
+			}
+		})
+	}
+}

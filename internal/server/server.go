@@ -8,7 +8,8 @@
 //	GET    /healthz                           liveness (never blocks)
 //	GET    /readyz                            readiness (503 while draining)
 //	GET    /v1/graph                          node/edge counts
-//	POST   /v1/estimate                       {"techniques":"BRIC","fraction":0.2,"seed":1}
+//	POST   /v1/estimate                       {"techniques":"BRIC","fraction":0.2,"seed":1,
+//	                                           "traversal":"auto","relabel":"none"}
 //	GET    /v1/farness/{node}?...             one node's estimate (same query params)
 //	GET    /v1/topk?k=10&...                  verified top-k (exact values)
 //	POST   /v1/edges                          {"u":1,"v":2} insert (exact dynamic update)
@@ -237,17 +238,24 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 // estimateParams are shared by /v1/estimate, /v1/farness and /v1/topk.
+// Traversal ("auto", "per-source", "batched", "hybrid") and Relabel ("none",
+// "degree", "bfs") are perf-only knobs: they participate in the cache key —
+// so a client sweeping engines actually re-runs — but never change farness
+// values.
 type estimateParams struct {
 	Techniques string  `json:"techniques"`
 	Fraction   float64 `json:"fraction"`
 	Seed       int64   `json:"seed"`
+	Traversal  string  `json:"traversal"`
+	Relabel    string  `json:"relabel"`
 }
 
 // resolve validates the params and returns the canonical cache key plus the
 // fully-populated estimation options. The key is derived from the parsed
-// technique mask, not the raw string, so "bric", "BRIC" and "CIRB" all
-// dedup onto one cache entry; the server's worker bound is plumbed into the
-// options so estimation parallelism follows the -workers flag.
+// values, not the raw strings, so "bric", "BRIC" and "CIRB" (and traversal
+// aliases like "do" for "hybrid") all dedup onto one cache entry; the
+// server's worker bound is plumbed into the options so estimation
+// parallelism follows the -workers flag.
 func (s *Server) resolve(p estimateParams) (string, core.Options, error) {
 	tech, err := ParseTechniques(p.Techniques)
 	if err != nil {
@@ -256,12 +264,22 @@ func (s *Server) resolve(p estimateParams) (string, core.Options, error) {
 	if p.Fraction <= 0 || p.Fraction > 1 {
 		return "", core.Options{}, fmt.Errorf("fraction %g out of range (0,1]", p.Fraction)
 	}
-	key := fmt.Sprintf("%s/%g/%d", tech, p.Fraction, p.Seed)
+	trav, err := core.ParseTraversalMode(p.Traversal)
+	if err != nil {
+		return "", core.Options{}, err
+	}
+	relab, err := graph.ParseRelabelMode(p.Relabel)
+	if err != nil {
+		return "", core.Options{}, err
+	}
+	key := fmt.Sprintf("%s/%g/%d/%s/%s", tech, p.Fraction, p.Seed, trav, relab)
 	return key, core.Options{
 		Techniques:     tech,
 		SampleFraction: p.Fraction,
 		Seed:           p.Seed,
 		Workers:        s.cfg.Workers,
+		Traversal:      trav,
+		Relabel:        relab,
 	}, nil
 }
 
@@ -283,6 +301,12 @@ func paramsFromQuery(q map[string][]string) (estimateParams, error) {
 			return p, fmt.Errorf("bad seed: %v", err)
 		}
 		p.Seed = sd
+	}
+	if v, ok := q["traversal"]; ok && len(v) > 0 {
+		p.Traversal = v[0]
+	}
+	if v, ok := q["relabel"]; ok && len(v) > 0 {
+		p.Relabel = v[0]
 	}
 	return p, nil
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/bfs"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/queue"
 )
 
@@ -97,12 +98,26 @@ func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 	}
 	res := &Result{Certain: true, EstimateStats: est.Stats}
 	dist := make([]int32, n)
-	q := queue.NewFIFO(n)
+	// Verification traversals run one candidate at a time (the stopping rule
+	// is inherently sequential), so parallelism goes inside each traversal:
+	// the level-parallel BFS when the run has workers to spend, the plain
+	// sequential kernel otherwise.
+	workers := par.Workers(opts.Estimate.Workers)
+	var q *queue.FIFO
+	if workers <= 1 {
+		q = queue.NewFIFO(n)
+	}
 	exactOf := func(v graph.NodeID) (float64, error) {
 		if est.Exact[v] {
 			return est.Farness[v], nil
 		}
-		if err := bfs.DistancesCtx(ctx, g, v, dist, q); err != nil {
+		var err error
+		if workers > 1 {
+			err = bfs.ParallelDistancesCtx(ctx, g, v, dist, workers)
+		} else {
+			err = bfs.DistancesCtx(ctx, g, v, dist, q)
+		}
+		if err != nil {
 			return 0, err
 		}
 		sum, _ := bfs.Sum(dist)
