@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test vet check bench bench-reduction bench-traversal experiments fuzz cover
+.PHONY: build test vet check bench bench-reduction bench-traversal bench-batching experiments fuzz cover
 
 build:
 	go build ./...
@@ -34,6 +34,13 @@ bench-reduction:
 # section 8 for the discussion).
 bench-traversal:
 	go run ./cmd/experiments -only traversal -traversal-json BENCH_traversal.json
+
+# Source-batching matrix: batching mode (arbitrary vs proximity-clustered) x
+# estimator engine under the batched traversal kernel, one dataset per
+# generator family, recorded machine-readably in BENCH_batching.json (see
+# EXPERIMENTS.md and DESIGN.md section 9 for the discussion).
+bench-batching:
+	go run ./cmd/experiments -only batching -batching-json BENCH_batching.json
 
 # Regenerate every table and figure of the paper (about 4 CPU-minutes).
 experiments:

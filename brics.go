@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/betweenness"
+	"repro/internal/bfs"
 	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/gen"
@@ -127,6 +128,29 @@ const (
 	TraversalHybrid    = core.TraversalHybrid
 )
 
+// BatchingMode selects how sampled sources are packed into the 64-wide
+// bit-parallel batches of the batched traversal engine (see TraversalMode).
+type BatchingMode = core.BatchingMode
+
+// Batching modes. BatchingAuto (default) reorders the sampled sources by
+// graph proximity — a BFS/Cuthill–McKee position pass over the traversal
+// graph — whenever more than one batch runs, so each 64-wide batch covers
+// one neighbourhood and its lane frontiers merge after a few hops;
+// BatchingArbitrary keeps sample-draw order (the pre-clustering behaviour)
+// and BatchingClustered forces the proximity pass. The sample set is never
+// re-drawn — batching only permutes source order — so farness output is
+// bit-identical across modes at every worker count; only the wall-clock
+// changes.
+const (
+	BatchingAuto      = core.BatchingAuto
+	BatchingArbitrary = core.BatchingArbitrary
+	BatchingClustered = core.BatchingClustered
+)
+
+// ParseBatchingMode converts a mode name ("auto", "arbitrary", "clustered"
+// and a few aliases) into a BatchingMode.
+func ParseBatchingMode(s string) (BatchingMode, error) { return core.ParseBatchingMode(s) }
+
 // RelabelMode selects a cache-aware node reordering applied to the reduced
 // graph (and each biconnected block) before the sampled traversals run: ids
 // are permuted so hot adjacency rows pack together, distance rows are mapped
@@ -211,6 +235,13 @@ func RandomSampling(g *Graph, fraction float64, workers int, seed int64) *Result
 func RandomSamplingMode(g *Graph, fraction float64, workers int, seed int64, mode TraversalMode) *Result {
 	return core.RandomSamplingMode(g, fraction, workers, seed, mode)
 }
+
+// Distance returns the shortest-path distance between two nodes using
+// bidirectional BFS (both endpoints expand level by level, always growing
+// the smaller frontier), which visits a small fraction of the nodes a full
+// traversal would on small-world graphs. Returns -1 when t is unreachable
+// from s. This is the kernel behind the server's /v1/distance endpoint.
+func Distance(g *Graph, s, t NodeID) int32 { return bfs.PointToPoint(g, s, t) }
 
 // Closeness converts farness values to closeness centralities 1/farness
 // (0 where farness is 0).

@@ -102,6 +102,49 @@ func TestGeneratorsPublic(t *testing.T) {
 	}
 }
 
+func TestDistancePublic(t *testing.T) {
+	// Path 0-1-2-3: bidirectional BFS must return the exact hop count.
+	g := brics.FromEdges(4, [][2]brics.NodeID{{0, 1}, {1, 2}, {2, 3}})
+	if d := brics.Distance(g, 0, 3); d != 3 {
+		t.Fatalf("Distance(0,3) = %d, want 3", d)
+	}
+	if d := brics.Distance(g, 2, 2); d != 0 {
+		t.Fatalf("Distance(2,2) = %d, want 0", d)
+	}
+	// Disconnected pair: -1, matching the documented contract.
+	g2 := brics.FromEdges(3, [][2]brics.NodeID{{0, 1}})
+	if d := brics.Distance(g2, 0, 2); d != -1 {
+		t.Fatalf("Distance across components = %d, want -1", d)
+	}
+}
+
+func TestBatchingModePublic(t *testing.T) {
+	m, err := brics.ParseBatchingMode("clustered")
+	if err != nil || m != brics.BatchingClustered {
+		t.Fatalf("ParseBatchingMode: %v, %v", m, err)
+	}
+	g := brics.GenerateWeb(1200, 4)
+	base, err := brics.Estimate(g, brics.Options{
+		Techniques: brics.TechICR, SampleFraction: 0.3, Seed: 2,
+		Traversal: brics.TraversalBatched, Batching: brics.BatchingArbitrary,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := brics.Estimate(g, brics.Options{
+		Techniques: brics.TechICR, SampleFraction: 0.3, Seed: 2,
+		Traversal: brics.TraversalBatched, Batching: brics.BatchingClustered,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range base.Farness {
+		if base.Farness[v] != got.Farness[v] {
+			t.Fatalf("batching changed farness[%d]: %v != %v", v, base.Farness[v], got.Farness[v])
+		}
+	}
+}
+
 func TestTimed(t *testing.T) {
 	d := brics.Timed(func() {})
 	if d < 0 {

@@ -7,13 +7,16 @@
 //	experiments -list
 //
 // Experiments: table1, fig4a, fig4b, fig5, fig6, fig7, fig8, fig9,
-// traversal, reduction (default: all, in order). See EXPERIMENTS.md for the
-// recorded paper-vs-measured comparison. The reduction experiment times the
-// parallel preprocessing pipeline; -json additionally writes its rows as a
-// machine-readable report (used by `make bench-reduction`). The traversal
-// experiment runs the relabel-ordering × traversal-engine locality matrix;
-// -traversal-json writes it as BENCH_traversal.json (used by
-// `make bench-traversal`). -cpuprofile/-memprofile capture pprof profiles of
+// traversal, batching, reduction (default: all, in order). See EXPERIMENTS.md
+// for the recorded paper-vs-measured comparison. The reduction experiment
+// times the parallel preprocessing pipeline; -json additionally writes its
+// rows as a machine-readable report (used by `make bench-reduction`). The
+// traversal experiment runs the relabel-ordering × traversal-engine locality
+// matrix; -traversal-json writes it as BENCH_traversal.json (used by
+// `make bench-traversal`). The batching experiment runs the batching-mode ×
+// estimator-engine matrix; -batching-json writes it as BENCH_batching.json
+// (used by `make bench-batching`).
+// -cpuprofile/-memprofile capture pprof profiles of
 // whatever subset runs — the intended workflow for chasing kernel
 // regressions spotted in the matrix.
 package main
@@ -36,9 +39,10 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default stand-in sizes)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1, "sampling seed")
-		only       = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,traversal,reduction,ablations,sweep")
+		only       = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,traversal,batching,reduction,ablations,sweep")
 		jsonOut    = flag.String("json", "", "write the reduction benchmark rows to this JSON file")
 		travOut    = flag.String("traversal-json", "", "write the traversal locality matrix to this JSON file")
+		batchOut   = flag.String("batching-json", "", "write the source-batching matrix to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		charts     = flag.Bool("charts", false, "render text bar charts in addition to the tables")
@@ -152,6 +156,16 @@ func main() {
 		if *travOut != "" {
 			check(experiments.WriteTraversalJSON(*travOut, cfg, 0.2, rows))
 			fmt.Printf("wrote %s\n", *travOut)
+		}
+		fmt.Println()
+	}
+	if run("batching") {
+		rows, err := experiments.BatchingBench(cfg, 0.2)
+		check(err)
+		experiments.FprintBatching(os.Stdout, 0.2, rows)
+		if *batchOut != "" {
+			check(experiments.WriteBatchingJSON(*batchOut, cfg, 0.2, rows))
+			fmt.Printf("wrote %s\n", *batchOut)
 		}
 		fmt.Println()
 	}

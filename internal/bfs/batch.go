@@ -2,6 +2,7 @@ package bfs
 
 import (
 	"context"
+	"math/bits"
 
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -91,6 +92,32 @@ func RunBatches(g *graph.Graph, sources []graph.NodeID, workers int, handle Batc
 	_ = RunBatchesCtx(context.Background(), g, sources, workers, handle)
 }
 
+// maskRowFill returns a mask-level visitor that scatters distances into the
+// per-lane rows, with a fast path for the fully merged mask (all k lanes
+// arriving together) that walks the rows directly instead of decoding bits.
+func maskRowFill(rows [][]int32, k int) func(v graph.NodeID, mask uint64, d int32) {
+	full := fullMask(k)
+	return func(v graph.NodeID, mask uint64, d int32) {
+		if mask == full {
+			for lane := 0; lane < k; lane++ {
+				rows[lane][v] = d
+			}
+			return
+		}
+		for m := mask; m != 0; m &= m - 1 {
+			rows[bits.TrailingZeros64(m)][v] = d
+		}
+	}
+}
+
+// fullMask is the bitmask with the low k lanes set.
+func fullMask(k int) uint64 {
+	if k >= MSBFSWidth {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(k) - 1
+}
+
 // RunBatchesCtx is RunBatches with cooperative cancellation: workers stop
 // claiming batches once ctx is done and in-flight sweeps bail at their next
 // frontier level. On a non-nil (par.ErrCanceled-wrapping) return the handler
@@ -102,10 +129,51 @@ func RunBatchesCtx(ctx context.Context, g *graph.Graph, sources []graph.NodeID, 
 		for lane := range batch {
 			Fill(rows[lane])
 		}
-		MultiSourceInto(g, batch, s.ms, func(v graph.NodeID, lane int, d int32) {
-			rows[lane][v] = d
-		})
+		MultiSourceMasksInto(g, batch, s.ms, maskRowFill(rows, len(batch)))
 	}, handle)
+}
+
+// MaskHandler consumes the visit stream of a mask-granularity batch run:
+// one call per (node, newly arrived lane set, distance) triple, identified
+// by the worker that produced it and the batch's base index into the
+// driver's source list. Handlers for different batches run concurrently;
+// callers that accumulate should either use atomics for cross-batch cells
+// or keep per-worker state (the worker index is stable).
+type MaskHandler func(worker, base int, batch []graph.NodeID, v graph.NodeID, mask uint64, d int32)
+
+// RunBatchesMaskCtx traverses the unweighted graph from every source with
+// 64-wide multi-source sweeps like RunBatchesCtx, but streams mask-level
+// visits to the handler instead of materialising per-lane distance rows —
+// the right shape for pure accumulation (farness sums) where a merged-lane
+// visit can be consumed as one d·popcount update instead of 64 row writes
+// followed by 64 row scans. On a non-nil return the handler saw a partial
+// visit stream and the caller must discard its accumulation.
+func RunBatchesMaskCtx(ctx context.Context, g *graph.Graph, sources []graph.NodeID, workers int, handle MaskHandler) error {
+	if len(sources) == 0 {
+		return par.CtxErr(ctx)
+	}
+	nb := numBatches(len(sources))
+	workers = par.Workers(workers)
+	if workers > nb {
+		workers = nb
+	}
+	done := ctx.Done()
+	scratch := make([]*MSScratch, workers)
+	for i := range scratch {
+		scratch[i] = NewMSScratch(g.NumNodes(), 1)
+		scratch[i].SetDone(done)
+	}
+	return par.ForDynamicCtx(ctx, nb, workers, 1, func(worker, bi int) {
+		base := bi * MSBFSWidth
+		hi := base + MSBFSWidth
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		batch := sources[base:hi]
+		MultiSourceMasksInto(g, batch, scratch[worker], func(v graph.NodeID, mask uint64, d int32) {
+			handle(worker, base, batch, v, mask, d)
+		})
+	})
 }
 
 // RunBatchesW is RunBatches over an integer-weighted graph (the reduced

@@ -100,7 +100,28 @@ func MultiSource(g *graph.Graph, sources []graph.NodeID, visit func(v graph.Node
 // batch drivers use to avoid per-batch allocation.
 func MultiSourceInto(g *graph.Graph, sources []graph.NodeID, s *MSScratch, visit func(v graph.NodeID, lane int, d int32)) {
 	offsets, adj := g.CSR()
+	msLevelSync(offsets, adj, sources, s, expandMask(visit))
+}
+
+// MultiSourceMasksInto is MultiSourceInto at mask granularity: visit is
+// called with the set of lanes that reach v at distance d, packed as a
+// bitmask, instead of once per lane. When lane frontiers coincide — the
+// whole point of proximity-clustered batching — one call replaces up to 64,
+// which lets accumulating handlers add d·popcount(mask) instead of looping
+// lanes. Expanding every mask bit-by-bit recovers exactly the per-lane visit
+// sequence of MultiSourceInto.
+func MultiSourceMasksInto(g *graph.Graph, sources []graph.NodeID, s *MSScratch, visit func(v graph.NodeID, mask uint64, d int32)) {
+	offsets, adj := g.CSR()
 	msLevelSync(offsets, adj, sources, s, visit)
+}
+
+// expandMask adapts a per-lane visitor to the mask-level kernel interface.
+func expandMask(visit func(v graph.NodeID, lane int, d int32)) func(v graph.NodeID, mask uint64, d int32) {
+	return func(v graph.NodeID, mask uint64, d int32) {
+		for m := mask; m != 0; m &= m - 1 {
+			visit(v, bits.TrailingZeros64(m), d)
+		}
+	}
 }
 
 // msLevelSync is the level-synchronous bit-parallel kernel over raw CSR
@@ -113,7 +134,23 @@ func MultiSourceInto(g *graph.Graph, sources []graph.NodeID, s *MSScratch, visit
 // set of a level is the union over frontier neighbours either way, so push
 // and pull levels produce identical visits — only the scan order inside a
 // level differs, which the accumulating callers are insensitive to.
-func msLevelSync(offsets []int64, adj []graph.NodeID, sources []graph.NodeID, s *MSScratch, visit func(v graph.NodeID, lane int, d int32)) {
+//
+// Two shared-frontier fast paths exploit overlapping lanes (clustered
+// batches make overlap the common case, see core's Options.Batching):
+//
+//   - Saturated rows are skipped: a push edge whose head has already seen
+//     every lane the tail carries is dropped before touching the next-mask
+//     array, and pull rows with no missing lanes were always skipped. After
+//     lanes merge, re-expansions of the already-covered region cost one seen
+//     load per edge instead of a read-modify-write per edge.
+//
+//   - Once every lane travels in one shared frontier — every frontier mask
+//     equals the full lane set and no node is partially seen — the sweep
+//     drops the mask bookkeeping entirely and proceeds as a single BFS over
+//     the unseen region (msMergedTail): each adjacency row is expanded once
+//     and the full mask is handed to visit in one call per node, the "64
+//     BFSes for the price of one" regime of Wang et al.'s cluster-BFS.
+func msLevelSync(offsets []int64, adj []graph.NodeID, sources []graph.NodeID, s *MSScratch, visit func(v graph.NodeID, mask uint64, d int32)) {
 	if len(sources) == 0 {
 		return
 	}
@@ -129,7 +166,6 @@ func msLevelSync(offsets []int64, adj []graph.NodeID, sources []graph.NodeID, s 
 	for lane, src := range sources {
 		// Duplicate source nodes share one frontier slot (their lanes ride
 		// the same mask) but each lane still gets its zero-distance visit.
-		visit(src, lane, 0)
 		if seen[src] == 0 {
 			frontier = append(frontier, src)
 			mf += offsets[src+1] - offsets[src]
@@ -137,12 +173,18 @@ func msLevelSync(offsets []int64, adj []graph.NodeID, sources []graph.NodeID, s 
 		seen[src] |= uint64(1) << uint(lane)
 		active |= uint64(1) << uint(lane)
 	}
-	for _, src := range sources {
+	// partial counts nodes seen by some but not all lanes; zero is one half
+	// of the merged-frontier condition.
+	partial := 0
+	for _, src := range frontier {
 		cur[src] = seen[src]
+		visit(src, seen[src], 0)
+		if seen[src] != active {
+			partial++
+		}
 	}
 
 	mu := int64(len(adj)) - mf
-	bottomUp := false
 	touched := s.touched[:0]
 	for d := int32(1); len(frontier) > 0; d++ {
 		if par.Interrupted(s.done) {
@@ -152,8 +194,9 @@ func msLevelSync(offsets []int64, adj []graph.NodeID, sources []graph.NodeID, s 
 		// pullLevel); here mf counts the union frontier's out-edges, which
 		// with up to 64 overlapping lanes crosses the pull thresholds far
 		// more often — and a single shared pull sweep serves all lanes.
-		bottomUp = pullLevel(mf, mu, len(frontier), n)
+		bottomUp := pullLevel(mf, mu, len(frontier), n)
 		var nmf int64
+		allFull := true
 		if bottomUp {
 			// Pull: nodes missing lanes gather them from their neighbours'
 			// frontier masks. touched receives the new frontier so the two
@@ -185,21 +228,35 @@ func msLevelSync(offsets []int64, adj []graph.NodeID, sources []graph.NodeID, s 
 			for _, v := range newFrontier {
 				nw := next[v]
 				next[v] = 0
-				seen[v] |= nw
+				old := seen[v]
+				seen[v] = old | nw
 				cur[v] = nw
 				nmf += offsets[v+1] - offsets[v]
-				for m := nw; m != 0; m &= m - 1 {
-					visit(v, bits.TrailingZeros64(m), d)
+				if nw != active {
+					allFull = false
 				}
+				if old == 0 {
+					if seen[v] != active {
+						partial++
+					}
+				} else if seen[v] == active {
+					partial--
+				}
+				visit(v, nw, d)
 			}
 			frontier, touched = newFrontier, frontier
 		} else {
 			// Push: scan the frontier's out-edges, collecting touched nodes,
-			// then commit lanes, visits and the next frontier.
+			// then commit lanes, visits and the next frontier. Heads that
+			// already saw every lane the tail carries are skipped outright —
+			// their commit delta would be zero.
 			touched = touched[:0]
 			for _, u := range frontier {
 				m := cur[u]
 				for _, w := range adj[offsets[u]:offsets[u+1]] {
+					if m&^seen[w] == 0 {
+						continue
+					}
 					if next[w] == 0 {
 						touched = append(touched, w)
 					}
@@ -216,21 +273,94 @@ func msLevelSync(offsets []int64, adj []graph.NodeID, sources []graph.NodeID, s 
 				if nw == 0 {
 					continue
 				}
-				seen[w] |= nw
+				old := seen[w]
+				seen[w] = old | nw
 				cur[w] = nw
 				newFrontier = append(newFrontier, w)
 				nmf += offsets[w+1] - offsets[w]
-				for m := nw; m != 0; m &= m - 1 {
-					visit(w, bits.TrailingZeros64(m), d)
+				if nw != active {
+					allFull = false
 				}
+				if old == 0 {
+					if seen[w] != active {
+						partial++
+					}
+				} else if seen[w] == active {
+					partial--
+				}
+				visit(w, nw, d)
 			}
 			frontier = newFrontier
 		}
 		mu -= mf
 		mf = nmf
+		if allFull && partial == 0 && len(frontier) > 0 {
+			// Every lane now rides one shared frontier and no node awaits
+			// stragglers: the rest of the sweep is a single BFS.
+			frontier, touched = msMergedTail(offsets, adj, s, active, frontier, touched, d, mf, mu, visit)
+			break
+		}
 	}
 	s.frontier = frontier[:0]
 	s.touched = touched[:0]
+}
+
+// msMergedTail finishes a multi-source sweep after all lanes have merged
+// into one shared frontier: every frontier node carries the full lane mask
+// and every reached node is either fully seen or unseen, so level expansion
+// degenerates to a plain direction-optimised BFS (seen acts as the visited
+// bit) and each newly reached node gets one full-mask visit. Returns the
+// (emptied) frontier buffers so the caller can stash them back in the
+// scratch.
+func msMergedTail(offsets []int64, adj []graph.NodeID, s *MSScratch, active uint64,
+	frontier, touched []graph.NodeID, dPrev int32, mf, mu int64,
+	visit func(v graph.NodeID, mask uint64, d int32)) ([]graph.NodeID, []graph.NodeID) {
+	n := len(offsets) - 1
+	seen, cur, next := s.seen, s.cur, s.next
+	for d := dPrev + 1; len(frontier) > 0; d++ {
+		if par.Interrupted(s.done) {
+			break
+		}
+		bottomUp := pullLevel(mf, mu, len(frontier), n)
+		newFrontier := touched[:0]
+		var nmf int64
+		if bottomUp {
+			for v := 0; v < n; v++ {
+				if seen[v] != 0 {
+					continue
+				}
+				for _, w := range adj[offsets[v]:offsets[v+1]] {
+					if cur[w] != 0 {
+						newFrontier = append(newFrontier, graph.NodeID(v))
+						break
+					}
+				}
+			}
+		} else {
+			for _, u := range frontier {
+				for _, w := range adj[offsets[u]:offsets[u+1]] {
+					if seen[w] == 0 && next[w] == 0 {
+						next[w] = 1
+						newFrontier = append(newFrontier, w)
+					}
+				}
+			}
+		}
+		for _, u := range frontier {
+			cur[u] = 0
+		}
+		for _, v := range newFrontier {
+			next[v] = 0
+			seen[v] = active
+			cur[v] = active
+			nmf += offsets[v+1] - offsets[v]
+			visit(v, active, d)
+		}
+		frontier, touched = newFrontier, frontier
+		mu -= mf
+		mf = nmf
+	}
+	return frontier, touched
 }
 
 // MultiSourceFarness computes, for every node, the sum of distances from
@@ -249,9 +379,11 @@ func MultiSourceFarness(g *graph.Graph, sources []graph.NodeID) (acc []int64, fa
 			hi = len(sources)
 		}
 		batch := sources[base:hi]
-		MultiSourceInto(g, batch, s, func(v graph.NodeID, lane int, d int32) {
-			acc[v] += int64(d)
-			far[base+lane] += int64(d)
+		MultiSourceMasksInto(g, batch, s, func(v graph.NodeID, mask uint64, d int32) {
+			acc[v] += int64(d) * int64(bits.OnesCount64(mask))
+			for m := mask; m != 0; m &= m - 1 {
+				far[base+bits.TrailingZeros64(m)] += int64(d)
+			}
 		})
 	}
 	return acc, far

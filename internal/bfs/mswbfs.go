@@ -1,8 +1,6 @@
 package bfs
 
 import (
-	"math/bits"
-
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/queue"
@@ -37,6 +35,17 @@ func MultiSourceW(g *graph.WGraph, sources []graph.NodeID, visit func(v graph.No
 // scratch must have been created with at least the graph's maximum edge
 // weight.
 func MultiSourceWInto(g *graph.WGraph, sources []graph.NodeID, s *MSScratch, visit func(v graph.NodeID, lane int, d int32)) {
+	MultiSourceWMasksInto(g, sources, s, expandMask(visit))
+}
+
+// MultiSourceWMasksInto is MultiSourceWInto at mask granularity: visit
+// receives the lanes newly settled at v for distance d as a bitmask. Unlike
+// the unweighted kernel, the same (v, d) pair may be reported across several
+// calls — bucket entries arriving from different predecessors settle
+// disjoint lane subsets — but each (source, node) pair is still covered
+// exactly once over the whole sweep, so expanding every mask bit-by-bit
+// recovers the per-lane visit sequence of MultiSourceWInto.
+func MultiSourceWMasksInto(g *graph.WGraph, sources []graph.NodeID, s *MSScratch, visit func(v graph.NodeID, mask uint64, d int32)) {
 	if len(sources) == 0 {
 		return
 	}
@@ -87,9 +96,7 @@ func MultiSourceWInto(g *graph.WGraph, sources []graph.NodeID, s *MSScratch, vis
 			}
 			pend[e.v] |= nw
 			seen[e.v] |= nw
-			for m := nw; m != 0; m &= m - 1 {
-				visit(e.v, bits.TrailingZeros64(m), d)
-			}
+			visit(e.v, nw, d)
 		}
 		s.buckets[slot] = entries[:0]
 		// Phase 2: relax. Every push targets a strictly larger distance
@@ -119,7 +126,7 @@ func MultiSourceWInto(g *graph.WGraph, sources []graph.NodeID, s *MSScratch, vis
 // direction-optimising level-sync kernel with the simple-graph entry point.
 // Callers guarantee the all-weights-one precondition
 // (graph.WGraph.Unweighted).
-func multiSourceLevelSyncW(g *graph.WGraph, sources []graph.NodeID, s *MSScratch, visit func(v graph.NodeID, lane int, d int32)) {
+func multiSourceLevelSyncW(g *graph.WGraph, sources []graph.NodeID, s *MSScratch, visit func(v graph.NodeID, mask uint64, d int32)) {
 	offsets, adj, _ := g.CSR()
 	msLevelSync(offsets, adj, sources, s, visit)
 }
@@ -135,15 +142,12 @@ func MultiSourceWRows(g *graph.WGraph, unweighted bool, batch []graph.NodeID, s 
 	for lane := range batch {
 		Fill(rows[lane])
 	}
+	fill := maskRowFill(rows, len(batch))
 	switch {
 	case unweighted:
-		multiSourceLevelSyncW(g, batch, s, func(v graph.NodeID, lane int, d int32) {
-			rows[lane][v] = d
-		})
+		multiSourceLevelSyncW(g, batch, s, fill)
 	case g.MaxWeight() <= MSMaxBucketWeight:
-		MultiSourceWInto(g, batch, s, func(v graph.NodeID, lane int, d int32) {
-			rows[lane][v] = d
-		})
+		MultiSourceWMasksInto(g, batch, s, fill)
 	default:
 		if s.fb == nil || s.fbMaxW < g.MaxWeight() {
 			s.fb = queue.NewBucket(g.MaxWeight())

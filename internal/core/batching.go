@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bfs"
+	"repro/internal/graph"
+)
+
+// BatchingMode selects how sampled sources are packed into the ≤64-wide
+// bit-parallel batches of the batched traversal engine. The sample *set* is
+// never re-drawn — batching only permutes the order sources are handed to
+// the batch driver — so farness output is bit-identical across modes; only
+// how much the lanes of one batch overlap (and therefore the wall-clock)
+// changes.
+type BatchingMode int
+
+const (
+	// BatchingAuto (default) clusters whenever the batched engine runs
+	// with more than one batch in a traversal unit; a single batch has a
+	// fixed composition, so reordering it is pure overhead.
+	BatchingAuto BatchingMode = iota
+	// BatchingArbitrary fills batches in sample-draw order (the pre-PR-5
+	// behaviour): lanes of one batch land anywhere in the graph, so their
+	// frontiers rarely coincide and every batch pays full memory traffic.
+	BatchingArbitrary
+	// BatchingClustered reorders the sampled sources by a Cuthill–McKee
+	// (BFS) position pass over the traversal graph before batching, so each
+	// batch covers one neighbourhood. Nearby sources reach every node at
+	// nearly the same level, which merges the 64 lane frontiers after a few
+	// hops — the multi-source kernels then expand each adjacency row once
+	// for all lanes (see bfs.MultiSourceMasksInto) instead of once per
+	// distinct arrival level.
+	BatchingClustered
+)
+
+// String names the mode for flags, logs and cache keys.
+func (m BatchingMode) String() string {
+	switch m {
+	case BatchingArbitrary:
+		return "arbitrary"
+	case BatchingClustered:
+		return "clustered"
+	default:
+		return "auto"
+	}
+}
+
+// ParseBatchingMode converts a mode name (as produced by String, with a few
+// aliases) into a BatchingMode; the empty string is Auto.
+func ParseBatchingMode(s string) (BatchingMode, error) {
+	switch s {
+	case "", "auto":
+		return BatchingAuto, nil
+	case "arbitrary", "arb", "sample-order":
+		return BatchingArbitrary, nil
+	case "clustered", "cluster", "proximity":
+		return BatchingClustered, nil
+	}
+	return 0, fmt.Errorf("core: unknown batching mode %q (want auto, arbitrary or clustered)", s)
+}
+
+// clustered reports whether a traversal unit with k batched sources should
+// pay the proximity-ordering pass under this mode. Below two batches the
+// grouping cannot change (every source shares the single batch), so even
+// the forced mode skips the pass.
+func (m BatchingMode) clustered(k int) bool {
+	if k <= bfs.MSBFSWidth {
+		return false
+	}
+	return m != BatchingArbitrary
+}
+
+// clusterOrder returns a permutation of [0, len(sources)) that sorts the
+// sources by pos (their position in a proximity ordering of the traversal
+// graph), ties by original index. A nil pos means the graph's own ids are
+// already proximity positions (it was rebuilt under a BFS relabeling), so
+// sources sort by value. Consecutive runs of the result land in the same
+// ≤64-wide batch, so each batch covers one neighbourhood of the ordering.
+// The caller keeps the original slice: accumulation stays keyed by
+// sources[order[i]], which is what makes clustering output-invariant.
+func clusterOrder(sources []graph.NodeID, pos []graph.NodeID) []int {
+	posOf := func(v graph.NodeID) graph.NodeID { return v }
+	if pos != nil {
+		posOf = func(v graph.NodeID) graph.NodeID { return pos[v] }
+	}
+	order := make([]int, len(sources))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := posOf(sources[order[a]]), posOf(sources[order[b]])
+		if pa != pb {
+			return pa < pb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// These tests pin the clustered-batching contract: Options.Batching permutes
+// only the order sampled sources enter the 64-wide bit-parallel batches —
+// never the sample set — so for every generator family, technique mix,
+// relabel ordering and worker count, every batching mode is bit-for-bit the
+// per-source engine's output.
+
+func TestParseBatchingMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want BatchingMode
+	}{
+		{"", BatchingAuto},
+		{"auto", BatchingAuto},
+		{"arbitrary", BatchingArbitrary},
+		{"arb", BatchingArbitrary},
+		{"sample-order", BatchingArbitrary},
+		{"clustered", BatchingClustered},
+		{"cluster", BatchingClustered},
+		{"proximity", BatchingClustered},
+	}
+	for _, c := range cases {
+		got, err := ParseBatchingMode(c.in)
+		if err != nil {
+			t.Fatalf("ParseBatchingMode(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseBatchingMode(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseBatchingMode("bogus"); err == nil {
+		t.Fatal("ParseBatchingMode accepted a bogus mode")
+	}
+	for _, m := range []BatchingMode{BatchingAuto, BatchingArbitrary, BatchingClustered} {
+		back, err := ParseBatchingMode(m.String())
+		if err != nil || back != m {
+			t.Fatalf("String round-trip broke for %v: got %v, err %v", m, back, err)
+		}
+	}
+}
+
+// TestEstimateBatchingBitIdentical is the acceptance property of the
+// clustered-batching tentpole: the batched engine under every batching mode
+// equals the per-source engine, across the four families, the global and
+// cumulative estimators, relabeled and canonical layouts, and multiple
+// worker counts.
+func TestEstimateBatchingBitIdentical(t *testing.T) {
+	techs := []struct {
+		name string
+		t    Technique
+	}{
+		{"ICR", TechICR},
+		{"cumulative", TechCumulative},
+	}
+	batchings := []BatchingMode{BatchingArbitrary, BatchingClustered}
+	relabels := []graph.RelabelMode{graph.RelabelNone, graph.RelabelBFS}
+	for _, fam := range relabelFamilies() {
+		g := graph.Connect(fam.gen(3000, 42))
+		for _, tech := range techs {
+			base, err := Estimate(g, Options{
+				Techniques:     tech.t,
+				SampleFraction: 0.2,
+				Seed:           7,
+				Workers:        1,
+				Traversal:      TraversalPerSource,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fam.name, tech.name, err)
+			}
+			for _, bm := range batchings {
+				for _, rel := range relabels {
+					for _, w := range []int{1, 4} {
+						got, err := Estimate(g, Options{
+							Techniques:     tech.t,
+							SampleFraction: 0.2,
+							Seed:           7,
+							Workers:        w,
+							Traversal:      TraversalBatched,
+							Batching:       bm,
+							Relabel:        rel,
+						})
+						if err != nil {
+							t.Fatalf("%s/%s/%s/%s workers=%d: %v", fam.name, tech.name, bm, rel, w, err)
+						}
+						label := fmt.Sprintf("%s/%s/batching=%s/relabel=%s workers=%d", fam.name, tech.name, bm, rel, w)
+						assertSameResult(t, label, base, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRandomSamplingBatchingBitIdentical covers the unreduced baseline path:
+// the mask-granularity batched accumulator under both batching modes equals
+// the per-source row accumulator, at several worker counts.
+func TestRandomSamplingBatchingBitIdentical(t *testing.T) {
+	for _, fam := range relabelFamilies() {
+		g := graph.Connect(fam.gen(2500, 11))
+		base := RandomSamplingMode(g, 0.3, 1, 5, TraversalPerSource)
+		for _, bm := range []BatchingMode{BatchingAuto, BatchingArbitrary, BatchingClustered} {
+			for _, w := range relabelWorkerSweep() {
+				got, err := RandomSamplingModeContext(t.Context(), g, 0.3, w, 5, TraversalBatched, bm)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", fam.name, bm, w, err)
+				}
+				label := fmt.Sprintf("%s/batching=%s workers=%d", fam.name, bm, w)
+				assertSameResult(t, label, base, got)
+			}
+		}
+	}
+}

@@ -134,7 +134,7 @@ func TestRandomSamplingModeContextCanceled(t *testing.T) {
 	g := gen.Community(800, 4)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res, err := RandomSamplingModeContext(ctx, g, 0.3, 2, 1, TraversalPerSource)
+	res, err := RandomSamplingModeContext(ctx, g, 0.3, 2, 1, TraversalPerSource, BatchingAuto)
 	if !errors.Is(err, ErrCanceled) {
 		t.Fatalf("want ErrCanceled, got %v", err)
 	}

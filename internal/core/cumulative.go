@@ -360,6 +360,31 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 		ss := blockSamples[b]
 		if opts.Traversal.batched(len(ss)) && len(ss) > 1 {
 			anyBatched = true
+			// Proximity-clustered batching, block-local edition: when a
+			// block's sample share spans several 64-wide batches, order the
+			// sources by their position in a BFS ordering of the block graph
+			// so each batch covers one neighbourhood. Under RelabelBFS the
+			// traversal-space ids already are those positions; otherwise one
+			// throwaway ordering pass per (large) block computes them.
+			// blockSamples[b] itself is left untouched — every later use is a
+			// set operation, and accumulateSource keys by the source id, so
+			// the reorder cannot change any accumulated integer.
+			if opts.Batching.clustered(len(ss)) {
+				tls := make([]graph.NodeID, len(ss))
+				for i, s := range ss {
+					tls[i] = localSrc(int32(b), s)
+				}
+				var pos []graph.NodeID
+				if opts.Relabel != graph.RelabelBFS || blockPerm == nil || blockPerm[b] == nil {
+					pos = graph.OrderW(localG[b], graph.RelabelBFS, opts.Workers).Perm
+				}
+				ord := clusterOrder(tls, pos)
+				css := make([]graph.NodeID, len(ss))
+				for i, j := range ord {
+					css[i] = ss[j]
+				}
+				ss = css
+			}
 			for base := 0; base < len(ss); base += bfs.MSBFSWidth {
 				hi := base + bfs.MSBFSWidth
 				if hi > len(ss) {

@@ -136,10 +136,31 @@ func estimateGlobal(ctx context.Context, red *reduce.Reduction, opts *Options) (
 				sourcesT[i] = perm[sR]
 			}
 		}
+		// Proximity-clustered batching: permute the (sourcesT, laneSamples)
+		// pairs together so each 64-wide batch covers one neighbourhood of a
+		// BFS ordering of the traversal graph. Under RelabelBFS the traversal
+		// ids already are that ordering; otherwise one throwaway ordering
+		// pass computes the positions. Accumulation stays keyed by
+		// laneSamples, so the reorder cannot change any output integer.
+		laneSamples := samplesReduced
+		if opts.Batching.clustered(k) {
+			var pos []graph.NodeID
+			if perm == nil || opts.Relabel != graph.RelabelBFS {
+				pos = graph.OrderW(tg, graph.RelabelBFS, workers).Perm
+			}
+			ord := clusterOrder(sourcesT, pos)
+			st := make([]graph.NodeID, k)
+			ls := make([]graph.NodeID, k)
+			for i, j := range ord {
+				st[i] = sourcesT[j]
+				ls[i] = samplesReduced[j]
+			}
+			sourcesT, laneSamples = st, ls
+		}
 		err := bfs.RunBatchesWCtx(ctx, tg, sourcesT, workers, func(worker, base int, batch []graph.NodeID, rows [][]int32) {
 			w := &scratch[worker]
 			for lane := range batch {
-				srcR := samplesReduced[base+lane]
+				srcR := laneSamples[base+lane]
 				red.ScatterPerm(rows[lane], perm, w.distOrig)
 				red.Extend(w.distOrig)
 				accumulateRow(w, red.ToOld[srcR])

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math/bits"
 	"math/rand"
 	"sync/atomic"
 	"time"
@@ -57,15 +58,18 @@ func RandomSampling(g *graph.Graph, fraction float64, workers int, seed int64) *
 // Farness output is identical across modes for the same seed; only the
 // wall-clock differs.
 func RandomSamplingMode(g *graph.Graph, fraction float64, workers int, seed int64, mode TraversalMode) *Result {
-	res, _ := RandomSamplingModeContext(context.Background(), g, fraction, workers, seed, mode)
+	res, _ := RandomSamplingModeContext(context.Background(), g, fraction, workers, seed, mode, BatchingAuto)
 	return res
 }
 
 // RandomSamplingModeContext is RandomSamplingMode with cooperative
-// cancellation: traversals stop at the next source (or frontier level) once
+// cancellation — traversals stop at the next source (or frontier level) once
 // ctx is done and the run returns a nil Result with an ErrCanceled-wrapping
-// error.
-func RandomSamplingModeContext(ctx context.Context, g *graph.Graph, fraction float64, workers int, seed int64, mode TraversalMode) (*Result, error) {
+// error — plus an explicit batching mode: under the batched engine the
+// sampled source *order* may be rearranged by proximity before batching
+// (see BatchingMode), which changes only the wall-clock, never the sample
+// set or the farness output.
+func RandomSamplingModeContext(ctx context.Context, g *graph.Graph, fraction float64, workers int, seed int64, mode TraversalMode, batching BatchingMode) (*Result, error) {
 	n := g.NumNodes()
 	res := &Result{
 		Farness: make([]float64, n),
@@ -92,25 +96,48 @@ func RandomSamplingModeContext(ctx context.Context, g *graph.Graph, fraction flo
 	workers = par.Workers(workers)
 	acc := make([]int64, n)
 	exactFar := make([]int64, n)
-	accumulateRow := func(src graph.NodeID, dist []int32) {
-		var own int64
-		for w, d := range dist {
-			own += int64(d)
-			atomic.AddInt64(&acc[w], int64(d))
-		}
-		atomic.StoreInt64(&exactFar[src], own)
-	}
 	done := ctx.Done()
 	if mode.batched(k) {
-		err := bfs.RunBatchesCtx(ctx, g, samples, workers, func(_, _ int, batch []graph.NodeID, rows [][]int32) {
-			for lane, src := range batch {
-				accumulateRow(src, rows[lane])
+		// The batched engine consumes the visit stream at mask granularity:
+		// one d·popcount add per (node, arriving lane set) instead of one add
+		// per lane. When clustering merges the lane frontiers the common case
+		// is a single full-mask visit per node — 64 accumulator updates for
+		// the price of one atomic.
+		sources := samples
+		if batching.clustered(k) {
+			pos := graph.Order(g, graph.RelabelBFS, workers).Perm
+			ord := clusterOrder(samples, pos)
+			sources = make([]graph.NodeID, k)
+			for i, j := range ord {
+				sources[i] = samples[j]
+			}
+		}
+		// farBySlot[base+lane] is only ever written by the goroutine running
+		// that batch's sweep (slots of one batch never span batches), so the
+		// per-source sums need no atomics; only the shared acc cells do.
+		farBySlot := make([]int64, k)
+		err := bfs.RunBatchesMaskCtx(ctx, g, sources, workers, func(_, base int, _ []graph.NodeID, v graph.NodeID, mask uint64, d int32) {
+			atomic.AddInt64(&acc[v], int64(d)*int64(bits.OnesCount64(mask)))
+			dd := int64(d)
+			for m := mask; m != 0; m &= m - 1 {
+				farBySlot[base+bits.TrailingZeros64(m)] += dd
 			}
 		})
 		if err != nil {
 			return nil, err
 		}
+		for i, src := range sources {
+			exactFar[src] = farBySlot[i]
+		}
 	} else {
+		accumulateRow := func(src graph.NodeID, dist []int32) {
+			var own int64
+			for w, d := range dist {
+				own += int64(d)
+				atomic.AddInt64(&acc[w], int64(d))
+			}
+			atomic.StoreInt64(&exactFar[src], own)
+		}
 		hybrid := mode.hybrid()
 		type ws struct {
 			dist []int32

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// BatchingRow is one (dataset, estimator engine, batching mode) point of the
+// source-packing matrix: wall-clock of the run, its traversal-phase share,
+// and the speedup over the same (dataset, engine) pair's arbitrary-order
+// run. Batching only permutes the order sampled sources enter the 64-wide
+// bit-parallel batches — every cell of a (dataset, engine) pair produces
+// bit-identical farness (the bench verifies this), so the matrix isolates
+// the pure lane-overlap effect of proximity clustering.
+type BatchingRow struct {
+	Dataset  gen.Dataset   `json:"-"`
+	Name     string        `json:"name"`
+	Class    string        `json:"class"`
+	Engine   string        `json:"engine"`
+	Batching string        `json:"batching"`
+	Total    time.Duration `json:"total_ns"`
+	Traverse time.Duration `json:"traverse_ns"`
+	Speedup  float64       `json:"speedup_vs_arbitrary"`
+}
+
+// batchingEngines names the two estimator paths the matrix exercises:
+// "sampling" is the pure random-sampling baseline on the raw graph (batched
+// kernel cost dominates, so the clustering effect shows undiluted) and
+// "cumulative" is the full BRICS pipeline (reductions shrink the traversal
+// share, measuring what clustering is worth end to end).
+var batchingEngines = []string{"sampling", "cumulative"}
+
+var batchingModes = []core.BatchingMode{core.BatchingArbitrary, core.BatchingClustered}
+
+// BatchingBench measures the batching×engine matrix on one dataset per graph
+// class at the given sampling fraction. Each cell is the best of two runs
+// (the first pays allocator warm-up); the speedup column compares against
+// the arbitrary-order cell of the same (dataset, engine) pair. The bench
+// fails if any clustered run's farness differs from its arbitrary twin —
+// clustering that changed an output value would be a correctness bug, not a
+// perf result.
+func BatchingBench(cfg Config, fraction float64) ([]BatchingRow, error) {
+	if fraction <= 0 {
+		fraction = 0.2
+	}
+	var rows []BatchingRow
+	seen := map[gen.Class]bool{}
+	for _, ds := range gen.Datasets(cfg.scale()) {
+		if seen[ds.Class] {
+			continue
+		}
+		seen[ds.Class] = true
+		g := ds.Build()
+		for _, eng := range batchingEngines {
+			var arbitrary time.Duration
+			var arbFar []float64
+			for _, bm := range batchingModes {
+				row := BatchingRow{
+					Dataset:  ds,
+					Name:     ds.Name,
+					Class:    string(ds.Class),
+					Engine:   eng,
+					Batching: bm.String(),
+				}
+				var far []float64
+				for rep := 0; rep < 2; rep++ {
+					start := time.Now()
+					var res *core.Result
+					var err error
+					if eng == "sampling" {
+						res, err = core.RandomSamplingModeContext(context.Background(), g, fraction,
+							cfg.Workers, cfg.Seed, core.TraversalBatched, bm)
+					} else {
+						res, err = core.Estimate(g, core.Options{
+							Techniques:     core.TechCumulative,
+							SampleFraction: fraction,
+							Workers:        cfg.Workers,
+							Seed:           cfg.Seed,
+							Traversal:      core.TraversalBatched,
+							Batching:       bm,
+						})
+					}
+					total := time.Since(start)
+					if err != nil {
+						return nil, fmt.Errorf("%s %s/%s: %v", ds.Name, eng, bm, err)
+					}
+					if rep == 0 || total < row.Total {
+						row.Total = total
+						row.Traverse = res.Stats.Traverse
+					}
+					far = res.Farness
+				}
+				switch bm {
+				case core.BatchingArbitrary:
+					arbitrary = row.Total
+					arbFar = far
+					row.Speedup = 1
+				default:
+					for v := range far {
+						if far[v] != arbFar[v] {
+							return nil, fmt.Errorf("%s %s: clustered batching changed farness[%d]: %g != %g",
+								ds.Name, eng, v, far[v], arbFar[v])
+						}
+					}
+					if row.Total > 0 {
+						row.Speedup = float64(arbitrary) / float64(row.Total)
+					}
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FprintBatching renders the source-packing matrix; speedup >1 means
+// proximity clustering beats sample-draw order on that (dataset, engine)
+// pair.
+func FprintBatching(w io.Writer, fraction float64, rows []BatchingRow) {
+	fmt.Fprintf(w, "Source-batching matrix: batching mode x estimator engine, batched traversal at %.0f%% sampling\n", fraction*100)
+	fmt.Fprintf(w, "(identical farness in every cell; speedup is vs the same dataset+engine's batching=arbitrary run)\n")
+	fmt.Fprintf(w, "%-28s %-10s %-11s %-10s %10s %10s %8s\n",
+		"Graph", "Class", "engine", "batching", "traverse", "total", "speedup")
+	prev := ""
+	for _, r := range rows {
+		name, class := r.Name, r.Class
+		if name == prev {
+			name, class = "", ""
+		} else {
+			prev = name
+		}
+		fmt.Fprintf(w, "%-28s %-10s %-11s %-10s %10s %10s %7.2fx\n",
+			name, class, r.Engine, r.Batching, fmtDur(r.Traverse), fmtDur(r.Total), r.Speedup)
+	}
+}
+
+// batchingReport is the BENCH_batching.json document.
+type batchingReport struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Scale      float64       `json:"scale"`
+	Fraction   float64       `json:"fraction"`
+	Note       string        `json:"note"`
+	Rows       []BatchingRow `json:"rows"`
+}
+
+// WriteBatchingJSON writes the source-packing matrix to path as JSON so
+// `make bench-batching` leaves a machine-readable record next to the text
+// table.
+func WriteBatchingJSON(path string, cfg Config, fraction float64, rows []BatchingRow) error {
+	rep := batchingReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Scale:      cfg.scale(),
+		Fraction:   fraction,
+		Note: "Wall-clock per (batching mode, estimator engine) cell under the batched traversal engine; " +
+			"batching only permutes source order, never the sample set, so every cell of a dataset+engine " +
+			"pair produces bit-identical farness (verified by the bench). speedup_vs_arbitrary compares " +
+			"against the batching=arbitrary cell of the same pair.",
+		Rows: rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -105,6 +105,24 @@ func RelabelW(g *WGraph, mode RelabelMode, workers int) (*WGraph, *Relabeling) {
 	return applyPermW(g, r, workers), r
 }
 
+// Order computes the permutation of a relabel mode without rebuilding the
+// graph — for callers that want the ordering itself rather than the
+// relabeled CSR. Proximity-clustered source batching is the main consumer:
+// sorting traversal sources by their RelabelBFS (Cuthill–McKee) position
+// groups graph-nearby sources into the same position range, so consecutive
+// ≤64-wide batches cover one neighbourhood each. Returns nil for
+// RelabelNone. Deterministic at every worker count.
+func Order(g *Graph, mode RelabelMode, workers int) *Relabeling {
+	return orderOf(g.offsets, g.adj, mode, workers)
+}
+
+// OrderW is Order for weighted graphs (the ordering ignores weights — BFS
+// hop proximity is what batching wants to cluster by, and chain-contracted
+// weights still connect hop-adjacent survivors).
+func OrderW(g *WGraph, mode RelabelMode, workers int) *Relabeling {
+	return orderOf(g.offsets, g.adj, mode, workers)
+}
+
 // orderOf computes the permutation for a mode, or nil for RelabelNone.
 func orderOf(offsets []int64, adj []NodeID, mode RelabelMode, workers int) *Relabeling {
 	switch mode {

@@ -238,15 +238,16 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 // estimateParams are shared by /v1/estimate, /v1/farness and /v1/topk.
-// Traversal ("auto", "per-source", "batched", "hybrid") and Relabel ("none",
-// "degree", "bfs") are perf-only knobs: they participate in the cache key —
-// so a client sweeping engines actually re-runs — but never change farness
-// values.
+// Traversal ("auto", "per-source", "batched", "hybrid"), Batching ("auto",
+// "arbitrary", "clustered") and Relabel ("none", "degree", "bfs") are
+// perf-only knobs: they participate in the cache key — so a client sweeping
+// engines actually re-runs — but never change farness values.
 type estimateParams struct {
 	Techniques string  `json:"techniques"`
 	Fraction   float64 `json:"fraction"`
 	Seed       int64   `json:"seed"`
 	Traversal  string  `json:"traversal"`
+	Batching   string  `json:"batching"`
 	Relabel    string  `json:"relabel"`
 }
 
@@ -268,17 +269,22 @@ func (s *Server) resolve(p estimateParams) (string, core.Options, error) {
 	if err != nil {
 		return "", core.Options{}, err
 	}
+	batching, err := core.ParseBatchingMode(p.Batching)
+	if err != nil {
+		return "", core.Options{}, err
+	}
 	relab, err := graph.ParseRelabelMode(p.Relabel)
 	if err != nil {
 		return "", core.Options{}, err
 	}
-	key := fmt.Sprintf("%s/%g/%d/%s/%s", tech, p.Fraction, p.Seed, trav, relab)
+	key := fmt.Sprintf("%s/%g/%d/%s/%s/%s", tech, p.Fraction, p.Seed, trav, batching, relab)
 	return key, core.Options{
 		Techniques:     tech,
 		SampleFraction: p.Fraction,
 		Seed:           p.Seed,
 		Workers:        s.cfg.Workers,
 		Traversal:      trav,
+		Batching:       batching,
 		Relabel:        relab,
 	}, nil
 }
@@ -304,6 +310,9 @@ func paramsFromQuery(q map[string][]string) (estimateParams, error) {
 	}
 	if v, ok := q["traversal"]; ok && len(v) > 0 {
 		p.Traversal = v[0]
+	}
+	if v, ok := q["batching"]; ok && len(v) > 0 {
+		p.Batching = v[0]
 	}
 	if v, ok := q["relabel"]; ok && len(v) > 0 {
 		p.Relabel = v[0]

@@ -13,6 +13,7 @@ package topk
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/bfs"
@@ -98,18 +99,86 @@ func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 	}
 	res := &Result{Certain: true, EstimateStats: est.Stats}
 	dist := make([]int32, n)
-	// Verification traversals run one candidate at a time (the stopping rule
-	// is inherently sequential), so parallelism goes inside each traversal:
-	// the level-parallel BFS when the run has workers to spend, the plain
-	// sequential kernel otherwise.
+	// Verification consumes candidates one at a time (the stopping rule is
+	// inherently sequential), but the traversals themselves need not be: when
+	// the estimate run's traversal mode allows batching, the next group of
+	// unverified candidates is prefetched speculatively through one ≤64-lane
+	// bit-parallel sweep — candidates adjacent in estimate order tend to be
+	// central and near each other, so their lane frontiers merge quickly and
+	// the group costs little more than one BFS. The group size starts small
+	// (the stopping rule often fires within a few candidates) and doubles as
+	// verification keeps going. Every lane computed counts against MaxVerify
+	// — groups are clipped to the remaining budget, never exceeding it — and
+	// per-lane sums are bit-identical to bfs.Sum over a per-source row, so
+	// results match the per-source path exactly.
 	workers := par.Workers(opts.Estimate.Workers)
 	var q *queue.FIFO
 	if workers <= 1 {
 		q = queue.NewFIFO(n)
 	}
-	exactOf := func(v graph.NodeID) (float64, error) {
+	batchVerify := opts.Estimate.Traversal != core.TraversalPerSource &&
+		opts.Estimate.Traversal != core.TraversalHybrid
+	exactCache := make([]float64, n)
+	haveExact := make([]bool, n)
+	var ms *bfs.MSScratch
+	groupSize := 8
+	done := ctx.Done()
+	prefetch := func(startIdx int) {
+		size := groupSize
+		if opts.MaxVerify > 0 {
+			if rem := opts.MaxVerify - res.Verified; rem < size {
+				size = rem
+			}
+		}
+		if size < 2 {
+			return // nothing to share a sweep with; per-source handles it
+		}
+		batch := make([]graph.NodeID, 0, size)
+		for _, vi := range order[startIdx:] {
+			v := graph.NodeID(vi)
+			if est.Exact[v] || haveExact[v] {
+				continue
+			}
+			batch = append(batch, v)
+			if len(batch) == size {
+				break
+			}
+		}
+		if len(batch) < 2 {
+			return
+		}
+		if ms == nil {
+			ms = bfs.NewMSScratch(n, 1)
+			ms.SetDone(done)
+		}
+		var farBySlot [bfs.MSBFSWidth]int64
+		bfs.MultiSourceMasksInto(g, batch, ms, func(_ graph.NodeID, mask uint64, d int32) {
+			dd := int64(d)
+			for m := mask; m != 0; m &= m - 1 {
+				farBySlot[bits.TrailingZeros64(m)] += dd
+			}
+		})
+		if par.Interrupted(done) {
+			return // partial sums; the caller is about to surface ctx.Err()
+		}
+		for lane, v := range batch {
+			exactCache[v] = float64(farBySlot[lane])
+			haveExact[v] = true
+			res.Verified++
+		}
+		if groupSize < bfs.MSBFSWidth {
+			groupSize *= 2
+		}
+	}
+	exactOf := func(idx int, v graph.NodeID) (float64, error) {
 		if est.Exact[v] {
 			return est.Farness[v], nil
+		}
+		if batchVerify && !haveExact[v] {
+			prefetch(idx)
+		}
+		if haveExact[v] {
+			return exactCache[v], nil
 		}
 		var err error
 		if workers > 1 {
@@ -136,7 +205,7 @@ func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 				break
 			}
 		}
-		if opts.MaxVerify > 0 && res.Verified >= opts.MaxVerify && !est.Exact[v] {
+		if opts.MaxVerify > 0 && res.Verified >= opts.MaxVerify && !est.Exact[v] && !haveExact[v] {
 			// Budget exhausted; remaining candidates stay unverified.
 			res.Certain = false
 			// Fill any remaining slots with estimates of the best
@@ -149,7 +218,7 @@ func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 			}
 			break
 		}
-		far, err := exactOf(v)
+		far, err := exactOf(idx, v)
 		if err != nil {
 			return nil, err
 		}
