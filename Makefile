@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test vet check bench bench-reduction bench-traversal bench-batching experiments fuzz cover
+.PHONY: build test vet check bench bench-reduction bench-traversal bench-batching bench-frontier experiments fuzz cover
 
 build:
 	go build ./...
@@ -41,6 +41,14 @@ bench-traversal:
 # EXPERIMENTS.md and DESIGN.md section 9 for the discussion).
 bench-batching:
 	go run ./cmd/experiments -only batching -batching-json BENCH_batching.json
+
+# Frontier scaling study: per-source vs frontier-parallel (edge-map) engine
+# across worker counts {1,2,4,8} through one full exact farness run, one
+# dataset per generator family, every cell verified bit-identical to the
+# sequential baseline, recorded machine-readably in BENCH_frontier.json (see
+# EXPERIMENTS.md and DESIGN.md section 10 for the discussion).
+bench-frontier:
+	go run ./cmd/experiments -only frontier -frontier-json BENCH_frontier.json
 
 # Regenerate every table and figure of the paper (about 4 CPU-minutes).
 experiments:

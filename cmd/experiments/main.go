@@ -15,7 +15,9 @@
 // matrix; -traversal-json writes it as BENCH_traversal.json (used by
 // `make bench-traversal`). The batching experiment runs the batching-mode ×
 // estimator-engine matrix; -batching-json writes it as BENCH_batching.json
-// (used by `make bench-batching`).
+// (used by `make bench-batching`). The frontier experiment runs the
+// exact-farness engine × worker-count scaling study; -frontier-json writes it
+// as BENCH_frontier.json (used by `make bench-frontier`).
 // -cpuprofile/-memprofile capture pprof profiles of
 // whatever subset runs — the intended workflow for chasing kernel
 // regressions spotted in the matrix.
@@ -39,10 +41,11 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default stand-in sizes)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1, "sampling seed")
-		only       = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,traversal,batching,reduction,ablations,sweep")
+		only       = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,traversal,batching,frontier,reduction,ablations,sweep")
 		jsonOut    = flag.String("json", "", "write the reduction benchmark rows to this JSON file")
 		travOut    = flag.String("traversal-json", "", "write the traversal locality matrix to this JSON file")
 		batchOut   = flag.String("batching-json", "", "write the source-batching matrix to this JSON file")
+		frontOut   = flag.String("frontier-json", "", "write the frontier scaling study to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		charts     = flag.Bool("charts", false, "render text bar charts in addition to the tables")
@@ -166,6 +169,16 @@ func main() {
 		if *batchOut != "" {
 			check(experiments.WriteBatchingJSON(*batchOut, cfg, 0.2, rows))
 			fmt.Printf("wrote %s\n", *batchOut)
+		}
+		fmt.Println()
+	}
+	if run("frontier") {
+		rows, err := experiments.FrontierBench(cfg)
+		check(err)
+		experiments.FprintFrontier(os.Stdout, rows)
+		if *frontOut != "" {
+			check(experiments.WriteFrontierJSON(*frontOut, cfg, rows))
+			fmt.Printf("wrote %s\n", *frontOut)
 		}
 		fmt.Println()
 	}

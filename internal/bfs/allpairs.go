@@ -52,6 +52,24 @@ func ExactFarnessW(g *graph.WGraph, workers int) []float64 {
 	return farness
 }
 
+// ExactFarnessFrontier is ExactFarness with the traversal-level parallelism
+// transposed: sources run sequentially and each BFS fans its frontier out
+// across the workers (the edge-map engine). Peak memory is one distance row
+// regardless of worker count, and farness is bit-identical to ExactFarness —
+// the two are interchangeable oracles.
+func ExactFarnessFrontier(g *graph.Graph, workers int) []float64 {
+	n := g.NumNodes()
+	farness := make([]float64, n)
+	dist := make([]int32, n)
+	fs := NewFrontierScratch()
+	for v := 0; v < n; v++ {
+		FrontierDistances(g, graph.NodeID(v), dist, workers, fs)
+		sum, _ := Sum(dist)
+		farness[v] = float64(sum)
+	}
+	return farness
+}
+
 // AllPairs computes the full distance matrix of a small graph. Intended for
 // tests only: memory is Θ(n²).
 func AllPairs(g *graph.Graph) [][]int32 {
@@ -61,6 +79,20 @@ func AllPairs(g *graph.Graph) [][]int32 {
 	for v := 0; v < n; v++ {
 		out[v] = make([]int32, n)
 		Distances(g, graph.NodeID(v), out[v], q)
+	}
+	return out
+}
+
+// AllPairsFrontier is AllPairs computed row by row with the frontier-parallel
+// engine; tests use it to cross-check the edge-map kernel against the
+// sequential matrix. Memory is Θ(n²) like AllPairs.
+func AllPairsFrontier(g *graph.Graph, workers int) [][]int32 {
+	n := g.NumNodes()
+	out := make([][]int32, n)
+	fs := NewFrontierScratch()
+	for v := 0; v < n; v++ {
+		out[v] = make([]int32, n)
+		FrontierDistances(g, graph.NodeID(v), out[v], workers, fs)
 	}
 	return out
 }

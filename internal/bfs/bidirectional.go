@@ -1,7 +1,10 @@
 package bfs
 
 import (
+	"context"
+
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // PointToPoint returns d(s, t) using bidirectional BFS: both endpoints
@@ -10,6 +13,22 @@ import (
 // O(√) of the nodes a full BFS would — it backs the server's /v1/distance
 // endpoint. Returns -1 when t is unreachable from s.
 func PointToPoint(g *graph.Graph, s, t graph.NodeID) int32 {
+	return pointToPointDone(g, s, t, nil)
+}
+
+// PointToPointCtx is PointToPoint with cooperative cancellation, polled once
+// per expansion level — the form the server's /distance handler uses so a
+// closed request or deadline abandons the search. On a non-nil error the
+// distance is meaningless and must be discarded.
+func PointToPointCtx(ctx context.Context, g *graph.Graph, s, t graph.NodeID) (int32, error) {
+	d := pointToPointDone(g, s, t, ctx.Done())
+	if err := par.CtxErr(ctx); err != nil {
+		return Unreached, err
+	}
+	return d, nil
+}
+
+func pointToPointDone(g *graph.Graph, s, t graph.NodeID, done <-chan struct{}) int32 {
 	if s == t {
 		return 0
 	}
@@ -47,6 +66,9 @@ func PointToPoint(g *graph.Graph, s, t graph.NodeID) int32 {
 	}
 
 	for len(frontS) > 0 && len(frontT) > 0 {
+		if par.Interrupted(done) {
+			return Unreached // partial search; the ctx wrapper surfaces the error
+		}
 		// Once the frontiers have met, one more level from each side
 		// cannot improve below levelS+levelT+1; stop when best is already
 		// that tight.

@@ -1,0 +1,32 @@
+package bfs
+
+// Branch-avoiding primitives for the 64-lane kernels, after Green, Dukhan
+// and Vuduc's "Branch-Avoiding Graph Algorithms": the mask-update hot loops
+// run over data whose branch outcomes are close to random (is this node
+// newly seen? did every lane arrive? was it already queued?), so a
+// mispredicted branch per visited edge costs more than computing both
+// outcomes and selecting arithmetically. The visit loops in msbfs.go and
+// mswbfs.go use these helpers to keep their per-node bookkeeping free of
+// data-dependent branches; branches that *prune work* (skipping saturated
+// rows, the pull early-exit) are kept — those avoid loads, not just control.
+
+// nzb returns 1 when x != 0 and 0 otherwise without a branch: x | -x has its
+// top bit set exactly when x is non-zero (for x = 0 both operands are zero;
+// otherwise either x or its two's complement has bit 63 set).
+func nzb(x uint64) uint64 {
+	return (x | -x) >> 63
+}
+
+// AccumulateLanes adds d to dst[lane] for every lane whose bit is set in
+// mask, using an arithmetic select per lane — d & -bit is d when the bit is
+// 1 and 0 when it is 0 — instead of iterating the set bits with an
+// unpredictable loop. dst is the per-lane accumulator sliced to the batch
+// width; mask bits at or above len(dst) must be zero (the kernels guarantee
+// this: lanes beyond the batch are never seeded). For the dense masks that
+// clustered batching produces, the fixed-trip-count loop with no
+// data-dependent branches beats the popcount-iteration form.
+func AccumulateLanes(dst []int64, mask uint64, d int64) {
+	for lane := range dst {
+		dst[lane] += d & -int64((mask>>uint(lane))&1)
+	}
+}

@@ -196,7 +196,10 @@ func msLevelSync(offsets []int64, adj []graph.NodeID, sources []graph.NodeID, s 
 		// more often — and a single shared pull sweep serves all lanes.
 		bottomUp := pullLevel(mf, mu, len(frontier), n)
 		var nmf int64
-		allFull := true
+		// fullDiff accumulates nw ^ active over the level's commits: zero
+		// afterwards means every commit carried the full lane set — the
+		// branch-avoiding form of the old per-commit allFull test.
+		var fullDiff uint64
 		if bottomUp {
 			// Pull: nodes missing lanes gather them from their neighbours'
 			// frontier masks. touched receives the new frontier so the two
@@ -229,19 +232,17 @@ func msLevelSync(offsets []int64, adj []graph.NodeID, sources []graph.NodeID, s 
 				nw := next[v]
 				next[v] = 0
 				old := seen[v]
-				seen[v] = old | nw
+				now := old | nw
+				seen[v] = now
 				cur[v] = nw
 				nmf += offsets[v+1] - offsets[v]
-				if nw != active {
-					allFull = false
-				}
-				if old == 0 {
-					if seen[v] != active {
-						partial++
-					}
-				} else if seen[v] == active {
-					partial--
-				}
+				fullDiff |= nw ^ active
+				// partial moves by +1 when a node is first seen but not yet
+				// full, −1 when a previously partial node fills up —
+				// computed with 0/1 arithmetic instead of nested branches.
+				wasSeen := nzb(old)
+				notFull := nzb(now ^ active)
+				partial += int((wasSeen^1)&notFull) - int(wasSeen&(notFull^1))
 				visit(v, nw, d)
 			}
 			frontier, touched = newFrontier, frontier
@@ -257,9 +258,14 @@ func msLevelSync(offsets []int64, adj []graph.NodeID, sources []graph.NodeID, s 
 					if m&^seen[w] == 0 {
 						continue
 					}
-					if next[w] == 0 {
-						touched = append(touched, w)
-					}
+					// Branch-avoiding queue insert: append speculatively,
+					// then retract by the already-queued bit — a
+					// data-dependent length adjustment instead of an
+					// unpredictable membership branch. (The saturation skip
+					// above stays a branch: it prunes the next[w] load-store
+					// entirely.)
+					touched = append(touched, w)
+					touched = touched[:len(touched)-int(nzb(next[w]))]
 					next[w] |= m
 				}
 			}
@@ -274,27 +280,22 @@ func msLevelSync(offsets []int64, adj []graph.NodeID, sources []graph.NodeID, s 
 					continue
 				}
 				old := seen[w]
-				seen[w] = old | nw
+				now := old | nw
+				seen[w] = now
 				cur[w] = nw
 				newFrontier = append(newFrontier, w)
 				nmf += offsets[w+1] - offsets[w]
-				if nw != active {
-					allFull = false
-				}
-				if old == 0 {
-					if seen[w] != active {
-						partial++
-					}
-				} else if seen[w] == active {
-					partial--
-				}
+				fullDiff |= nw ^ active
+				wasSeen := nzb(old)
+				notFull := nzb(now ^ active)
+				partial += int((wasSeen^1)&notFull) - int(wasSeen&(notFull^1))
 				visit(w, nw, d)
 			}
 			frontier = newFrontier
 		}
 		mu -= mf
 		mf = nmf
-		if allFull && partial == 0 && len(frontier) > 0 {
+		if fullDiff == 0 && partial == 0 && len(frontier) > 0 {
 			// Every lane now rides one shared frontier and no node awaits
 			// stragglers: the rest of the sweep is a single BFS.
 			frontier, touched = msMergedTail(offsets, adj, s, active, frontier, touched, d, mf, mu, visit)
@@ -379,11 +380,10 @@ func MultiSourceFarness(g *graph.Graph, sources []graph.NodeID) (acc []int64, fa
 			hi = len(sources)
 		}
 		batch := sources[base:hi]
+		laneFar := far[base:hi]
 		MultiSourceMasksInto(g, batch, s, func(v graph.NodeID, mask uint64, d int32) {
 			acc[v] += int64(d) * int64(bits.OnesCount64(mask))
-			for m := mask; m != 0; m &= m - 1 {
-				far[base+bits.TrailingZeros64(m)] += int64(d)
-			}
+			AccumulateLanes(laneFar, mask, int64(d))
 		})
 	}
 	return acc, far

@@ -91,9 +91,10 @@ func MultiSourceWMasksInto(g *graph.WGraph, sources []graph.NodeID, s *MSScratch
 			if nw == 0 {
 				continue
 			}
-			if pend[e.v] == 0 {
-				levelNodes = append(levelNodes, e.v)
-			}
+			// Branch-avoiding queue insert (see msbfs.go): append
+			// speculatively, retract by the already-pending bit.
+			levelNodes = append(levelNodes, e.v)
+			levelNodes = levelNodes[:len(levelNodes)-int(nzb(pend[e.v]))]
 			pend[e.v] |= nw
 			seen[e.v] |= nw
 			visit(e.v, nw, d)

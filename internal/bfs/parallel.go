@@ -2,23 +2,21 @@ package bfs
 
 import (
 	"context"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/graph"
-	"repro/internal/par"
 )
 
-// ParallelDistances runs a level-synchronous parallel BFS from src: each
-// level's frontier is split across workers, discoveries claim nodes with a
-// CAS on the distance array, and per-worker next-frontiers are concatenated
-// between levels. Use for one very large traversal (e.g. a giant single
+// ParallelDistances runs a frontier-parallel BFS from src: each level's work
+// is split across workers by the edge-map engine (see frontier.go), with
+// direction-optimising push/pull switching and prefix-sum frontier
+// compaction. Use for one very large traversal (e.g. a giant single
 // biconnected block) when per-source parallelism has nothing to fan out
 // over; for many sources prefer the per-source drivers or MultiSource.
 //
-// dist must have length g.NumNodes(); it is fully overwritten.
+// dist must have length g.NumNodes(); it is fully overwritten. The result is
+// bit-identical to Distances at every worker count (BFS levels are unique).
 func ParallelDistances(g *graph.Graph, src graph.NodeID, dist []int32, workers int) {
-	parallelDistancesDone(g, src, dist, workers, nil)
+	FrontierDistances(g, src, dist, workers, nil)
 }
 
 // ParallelDistancesCtx is ParallelDistances with cooperative cancellation,
@@ -26,80 +24,19 @@ func ParallelDistances(g *graph.Graph, src graph.NodeID, dist []int32, workers i
 // so cancellation latency is one level's fan-out). A non-nil return means
 // dist is partial and must be discarded.
 func ParallelDistancesCtx(ctx context.Context, g *graph.Graph, src graph.NodeID, dist []int32, workers int) error {
-	parallelDistancesDone(g, src, dist, workers, ctx.Done())
-	return par.CtxErr(ctx)
+	return FrontierDistancesCtx(ctx, g, src, dist, workers, nil)
 }
 
-func parallelDistancesDone(g *graph.Graph, src graph.NodeID, dist []int32, workers int, done <-chan struct{}) {
-	workers = par.Workers(workers)
-	for i := range dist {
-		dist[i] = Unreached
-	}
-	dist[src] = 0
-	frontier := []graph.NodeID{src}
-	nexts := make([][]graph.NodeID, workers)
-
-	for level := int32(1); len(frontier) > 0; level++ {
-		if par.Interrupted(done) {
-			return
-		}
-		if len(frontier) < 4*workers {
-			// Small frontier: sequential sweep avoids the fan-out cost.
-			var next []graph.NodeID
-			for _, u := range frontier {
-				for _, w := range g.Neighbors(u) {
-					if dist[w] == Unreached {
-						dist[w] = level
-						next = append(next, w)
-					}
-				}
-			}
-			frontier = next
-			continue
-		}
-		var wg sync.WaitGroup
-		chunk := (len(frontier) + workers - 1) / workers
-		for wk := 0; wk < workers; wk++ {
-			lo := wk * chunk
-			if lo >= len(frontier) {
-				break
-			}
-			hi := lo + chunk
-			if hi > len(frontier) {
-				hi = len(frontier)
-			}
-			wg.Add(1)
-			go func(wk, lo, hi int) {
-				defer wg.Done()
-				local := nexts[wk][:0]
-				for _, u := range frontier[lo:hi] {
-					for _, w := range g.Neighbors(u) {
-						// Claim w with a CAS from Unreached to level.
-						if atomic.LoadInt32(&dist[w]) == Unreached &&
-							atomic.CompareAndSwapInt32(&dist[w], Unreached, level) {
-							local = append(local, w)
-						}
-					}
-				}
-				nexts[wk] = local
-			}(wk, lo, hi)
-		}
-		wg.Wait()
-		frontier = frontier[:0]
-		for wk := range nexts {
-			frontier = append(frontier, nexts[wk]...)
-		}
-	}
-}
-
-// ParallelExactFarness computes exact farness using level-parallel BFS per
-// source — the right shape when the graph is huge but the caller wants
-// only a handful of sources' exact values.
+// ParallelExactFarness computes exact farness using the frontier-parallel
+// engine per source — the right shape when the graph is huge but the caller
+// wants only a handful of sources' exact values. Sources run sequentially;
+// each traversal fans its levels out across the workers.
 func ParallelExactFarness(g *graph.Graph, sources []graph.NodeID, workers int) []int64 {
 	out := make([]int64, len(sources))
 	dist := make([]int32, g.NumNodes())
+	fs := NewFrontierScratch()
 	for i, s := range sources {
-		ParallelDistances(g, s, dist, workers)
+		FrontierDistances(g, s, dist, workers, fs)
 		sum, _ := Sum(dist)
 		out[i] = sum
 	}

@@ -116,18 +116,33 @@ func RandomSamplingModeContext(ctx context.Context, g *graph.Graph, fraction flo
 		// that batch's sweep (slots of one batch never span batches), so the
 		// per-source sums need no atomics; only the shared acc cells do.
 		farBySlot := make([]int64, k)
-		err := bfs.RunBatchesMaskCtx(ctx, g, sources, workers, func(_, base int, _ []graph.NodeID, v graph.NodeID, mask uint64, d int32) {
+		err := bfs.RunBatchesMaskCtx(ctx, g, sources, workers, func(_, base int, batch []graph.NodeID, v graph.NodeID, mask uint64, d int32) {
 			atomic.AddInt64(&acc[v], int64(d)*int64(bits.OnesCount64(mask)))
-			dd := int64(d)
-			for m := mask; m != 0; m &= m - 1 {
-				farBySlot[base+bits.TrailingZeros64(m)] += dd
-			}
+			bfs.AccumulateLanes(farBySlot[base:base+len(batch)], mask, int64(d))
 		})
 		if err != nil {
 			return nil, err
 		}
 		for i, src := range sources {
 			exactFar[src] = farBySlot[i]
+		}
+	} else if mode.Frontier(k, workers, n) {
+		// Frontier-parallel engine: sources sequential, each BFS fans its
+		// levels out across the workers (see TraversalFrontier). The row
+		// accumulation matches the per-source path, so farness is
+		// bit-identical.
+		fs := bfs.NewFrontierScratch()
+		dist := make([]int32, n)
+		for _, src := range samples {
+			if err := bfs.FrontierDistancesCtx(ctx, g, src, dist, workers, fs); err != nil {
+				return nil, err
+			}
+			var own int64
+			for w, d := range dist {
+				own += int64(d)
+				acc[w] += int64(d)
+			}
+			exactFar[src] = own
 		}
 	} else {
 		accumulateRow := func(src graph.NodeID, dist []int32) {

@@ -26,16 +26,18 @@ func TestRandomSamplingTraversalModesIdentical(t *testing.T) {
 		t.Run(fam.name, func(t *testing.T) {
 			g := fam.build(1500, 42)
 			per := RandomSamplingMode(g, 0.2, 4, 7, TraversalPerSource)
-			bat := RandomSamplingMode(g, 0.2, 4, 7, TraversalBatched)
-			if per.Stats.Samples != bat.Stats.Samples {
-				t.Fatalf("sample counts differ: %d vs %d", per.Stats.Samples, bat.Stats.Samples)
-			}
-			for v := range per.Farness {
-				if per.Farness[v] != bat.Farness[v] {
-					t.Fatalf("node %d: per-source %v, batched %v", v, per.Farness[v], bat.Farness[v])
+			for _, mode := range []TraversalMode{TraversalBatched, TraversalFrontier} {
+				got := RandomSamplingMode(g, 0.2, 4, 7, mode)
+				if per.Stats.Samples != got.Stats.Samples {
+					t.Fatalf("%v: sample counts differ: %d vs %d", mode, per.Stats.Samples, got.Stats.Samples)
 				}
-				if per.Exact[v] != bat.Exact[v] {
-					t.Fatalf("node %d: exactness flags differ", v)
+				for v := range per.Farness {
+					if per.Farness[v] != got.Farness[v] {
+						t.Fatalf("%v node %d: per-source %v, got %v", mode, v, per.Farness[v], got.Farness[v])
+					}
+					if per.Exact[v] != got.Exact[v] {
+						t.Fatalf("%v node %d: exactness flags differ", mode, v)
+					}
 				}
 			}
 		})
@@ -65,16 +67,18 @@ func TestEstimateTraversalModesIdentical(t *testing.T) {
 					return res
 				}
 				per := run(TraversalPerSource)
-				bat := run(TraversalBatched)
-				if per.Stats.Samples != bat.Stats.Samples {
-					t.Fatalf("sample counts differ: %d vs %d", per.Stats.Samples, bat.Stats.Samples)
-				}
-				for v := range per.Farness {
-					if per.Farness[v] != bat.Farness[v] {
-						t.Fatalf("node %d: per-source %v, batched %v", v, per.Farness[v], bat.Farness[v])
+				for _, mode := range []TraversalMode{TraversalBatched, TraversalFrontier} {
+					got := run(mode)
+					if per.Stats.Samples != got.Stats.Samples {
+						t.Fatalf("%v: sample counts differ: %d vs %d", mode, per.Stats.Samples, got.Stats.Samples)
 					}
-					if per.Exact[v] != bat.Exact[v] {
-						t.Fatalf("node %d: exactness flags differ", v)
+					for v := range per.Farness {
+						if per.Farness[v] != got.Farness[v] {
+							t.Fatalf("%v node %d: per-source %v, got %v", mode, v, per.Farness[v], got.Farness[v])
+						}
+						if per.Exact[v] != got.Exact[v] {
+							t.Fatalf("%v node %d: exactness flags differ", mode, v)
+						}
 					}
 				}
 			})
@@ -101,6 +105,36 @@ func TestTraversalAutoPolicy(t *testing.T) {
 	for _, c := range cases {
 		if got := c.mode.batched(c.k); got != c.want {
 			t.Errorf("%v.batched(%d) = %v, want %v", c.mode, c.k, got, c.want)
+		}
+	}
+}
+
+// TestTraversalFrontierPolicy pins when the frontier engine is selected: a
+// forced mode always, Auto only when the unit's source count cannot fill the
+// worker pool (2k ≤ workers) on a graph big enough to amortise the fan-out.
+func TestTraversalFrontierPolicy(t *testing.T) {
+	big := frontierMinNodes
+	cases := []struct {
+		mode       TraversalMode
+		k, workers int
+		n          int
+		want       bool
+	}{
+		{TraversalFrontier, 1, 1, 10, true}, // forced: always
+		{TraversalFrontier, 100, 8, 10, true},
+		{TraversalAuto, 1, 8, big, true},  // one source, many workers
+		{TraversalAuto, 4, 8, big, true},  // 2k == workers: boundary in
+		{TraversalAuto, 5, 8, big, false}, // sources can fill the pool
+		{TraversalAuto, 1, 1, big, false}, // no parallelism to exploit
+		{TraversalAuto, 0, 8, big, false},
+		{TraversalAuto, 1, 8, big - 1, false}, // too small to amortise
+		{TraversalPerSource, 1, 8, big, false},
+		{TraversalBatched, 1, 8, big, false},
+		{TraversalHybrid, 1, 8, big, false},
+	}
+	for _, c := range cases {
+		if got := c.mode.Frontier(c.k, c.workers, c.n); got != c.want {
+			t.Errorf("%v.Frontier(%d, %d, %d) = %v, want %v", c.mode, c.k, c.workers, c.n, got, c.want)
 		}
 	}
 }

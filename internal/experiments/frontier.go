@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/gen"
+)
+
+// FrontierRow is one (dataset, engine, worker count) point of the frontier
+// scaling study: the wall-clock of a full exact farness run (one traversal
+// per node) and its speedup over the sequential baseline — the per-source
+// engine at one worker, i.e. a plain BFS loop. The two engines place their
+// parallelism on opposite axes (per-source: sources across workers, one
+// sequential BFS each; frontier: sources sequential, each BFS's levels split
+// across workers), and both must reproduce the baseline farness bit for bit —
+// the bench verifies that on every cell before recording it.
+type FrontierRow struct {
+	Dataset gen.Dataset   `json:"-"`
+	Name    string        `json:"name"`
+	Class   string        `json:"class"`
+	Engine  string        `json:"engine"`
+	Workers int           `json:"workers"`
+	Total   time.Duration `json:"total_ns"`
+	Speedup float64       `json:"speedup_vs_seq"`
+}
+
+// frontierWorkerSweep is the scaling axis of the study.
+var frontierWorkerSweep = []int{1, 2, 4, 8}
+
+// FrontierBench measures exact-farness scaling of both engines on one dataset
+// per graph class. Each cell is the best of two runs (the first pays
+// allocator warm-up). Note the frontier engine's level fan-out cannot beat
+// the sequential loop on graphs whose frontiers stay narrow (road networks:
+// long diameter, thin waves); the study exists to show exactly that contrast
+// against the wide-frontier web/social classes.
+func FrontierBench(cfg Config) ([]FrontierRow, error) {
+	var rows []FrontierRow
+	seen := map[gen.Class]bool{}
+	for _, ds := range gen.Datasets(cfg.scale()) {
+		if seen[ds.Class] {
+			continue
+		}
+		seen[ds.Class] = true
+		g := ds.Build()
+		var baseline time.Duration
+		var want []float64
+		for _, engine := range []string{"per-source", "frontier"} {
+			for _, w := range frontierWorkerSweep {
+				row := FrontierRow{
+					Dataset: ds,
+					Name:    ds.Name,
+					Class:   string(ds.Class),
+					Engine:  engine,
+					Workers: w,
+				}
+				var far []float64
+				for rep := 0; rep < 2; rep++ {
+					start := time.Now()
+					if engine == "per-source" {
+						far = bfs.ExactFarness(g, w)
+					} else {
+						far = bfs.ExactFarnessFrontier(g, w)
+					}
+					if total := time.Since(start); rep == 0 || total < row.Total {
+						row.Total = total
+					}
+				}
+				if want == nil {
+					want = far // per-source, workers=1: the sequential baseline
+					baseline = row.Total
+				} else {
+					for v := range want {
+						if far[v] != want[v] {
+							return nil, fmt.Errorf("%s %s/w=%d: farness[%d] = %v, sequential %v",
+								ds.Name, engine, w, v, far[v], want[v])
+						}
+					}
+				}
+				if row.Total > 0 {
+					row.Speedup = float64(baseline) / float64(row.Total)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FprintFrontier renders the scaling table; speedup >1 means the cell beats
+// the sequential BFS loop on that dataset.
+func FprintFrontier(w io.Writer, rows []FrontierRow) {
+	fmt.Fprintf(w, "Frontier-parallel scaling: full exact farness run, engine x workers\n")
+	fmt.Fprintf(w, "(identical farness in every cell; speedup is vs the same dataset's per-source/1-worker run)\n")
+	fmt.Fprintf(w, "%-28s %-10s %-11s %8s %10s %8s\n",
+		"Graph", "Class", "engine", "workers", "total", "speedup")
+	prev := ""
+	for _, r := range rows {
+		name, class := r.Name, r.Class
+		if name == prev {
+			name, class = "", ""
+		} else {
+			prev = name
+		}
+		fmt.Fprintf(w, "%-28s %-10s %-11s %8d %10s %7.2fx\n",
+			name, class, r.Engine, r.Workers, fmtDur(r.Total), r.Speedup)
+	}
+}
+
+// frontierReport is the BENCH_frontier.json document.
+type frontierReport struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Scale      float64       `json:"scale"`
+	Note       string        `json:"note"`
+	Rows       []FrontierRow `json:"rows"`
+}
+
+// WriteFrontierJSON writes the scaling study to path as JSON so
+// `make bench-frontier` leaves a machine-readable record next to the text
+// table.
+func WriteFrontierJSON(path string, cfg Config, rows []FrontierRow) error {
+	rep := frontierReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Scale:      cfg.scale(),
+		Note: "Full exact-farness wall-clock per (engine, worker count) cell; every cell verified " +
+			"bit-identical to the sequential baseline before recording. speedup_vs_seq compares against " +
+			"the per-source/1-worker cell of the same dataset. Worker counts above num_cpu oversubscribe " +
+			"and cannot show real scaling on this host.",
+		Rows: rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

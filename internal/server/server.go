@@ -238,7 +238,8 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 // estimateParams are shared by /v1/estimate, /v1/farness and /v1/topk.
-// Traversal ("auto", "per-source", "batched", "hybrid"), Batching ("auto",
+// Traversal ("auto", "per-source", "batched", "hybrid", "frontier"),
+// Batching ("auto",
 // "arbitrary", "clustered") and Relabel ("none", "degree", "bfs") are
 // perf-only knobs: they participate in the cache key — so a client sweeping
 // engines actually re-runs — but never change farness values.
@@ -571,7 +572,20 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "node out of range")
 		return
 	}
-	d := bfs.PointToPoint(g, graph.NodeID(from), graph.NodeID(to))
+	// The search honors the request's cancellation and ?timeout= deadline
+	// like every estimation endpoint: a closed connection or expired budget
+	// abandons the traversal at the next expansion level.
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	d, err := bfs.PointToPointCtx(ctx, g, graph.NodeID(from), graph.NodeID(to))
+	if err != nil {
+		writeEstimateErr(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, distanceBody{From: graph.NodeID(from), To: graph.NodeID(to), Distance: d})
 }
 

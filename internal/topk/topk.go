@@ -13,7 +13,6 @@ package topk
 import (
 	"context"
 	"fmt"
-	"math/bits"
 	"sort"
 
 	"repro/internal/bfs"
@@ -112,12 +111,22 @@ func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 	// per-lane sums are bit-identical to bfs.Sum over a per-source row, so
 	// results match the per-source path exactly.
 	workers := par.Workers(opts.Estimate.Workers)
+	// Verification traversals follow the estimate's traversal policy: the
+	// frontier-parallel engine when the mode (forced or Auto, always with
+	// k = 1 — one verification BFS at a time) selects it, the sequential
+	// kernel otherwise. Forced per-source/hybrid/frontier modes also opt out
+	// of the speculative batch prefetch below.
+	useFrontier := opts.Estimate.Traversal.Frontier(1, workers, n)
 	var q *queue.FIFO
-	if workers <= 1 {
+	var frontierScratch *bfs.FrontierScratch
+	if useFrontier {
+		frontierScratch = bfs.NewFrontierScratch()
+	} else {
 		q = queue.NewFIFO(n)
 	}
 	batchVerify := opts.Estimate.Traversal != core.TraversalPerSource &&
-		opts.Estimate.Traversal != core.TraversalHybrid
+		opts.Estimate.Traversal != core.TraversalHybrid &&
+		opts.Estimate.Traversal != core.TraversalFrontier
 	exactCache := make([]float64, n)
 	haveExact := make([]bool, n)
 	var ms *bfs.MSScratch
@@ -152,11 +161,9 @@ func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 			ms.SetDone(done)
 		}
 		var farBySlot [bfs.MSBFSWidth]int64
+		laneFar := farBySlot[:len(batch)]
 		bfs.MultiSourceMasksInto(g, batch, ms, func(_ graph.NodeID, mask uint64, d int32) {
-			dd := int64(d)
-			for m := mask; m != 0; m &= m - 1 {
-				farBySlot[bits.TrailingZeros64(m)] += dd
-			}
+			bfs.AccumulateLanes(laneFar, mask, int64(d))
 		})
 		if par.Interrupted(done) {
 			return // partial sums; the caller is about to surface ctx.Err()
@@ -181,8 +188,8 @@ func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 			return exactCache[v], nil
 		}
 		var err error
-		if workers > 1 {
-			err = bfs.ParallelDistancesCtx(ctx, g, v, dist, workers)
+		if useFrontier {
+			err = bfs.FrontierDistancesCtx(ctx, g, v, dist, workers, frontierScratch)
 		} else {
 			err = bfs.DistancesCtx(ctx, g, v, dist, q)
 		}
