@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test vet check bench bench-reduction bench-traversal bench-batching bench-frontier experiments fuzz cover
+.PHONY: build test vet check bench bench-reduction bench-traversal bench-batching bench-frontier bench-sketch experiments fuzz cover
 
 build:
 	go build ./...
@@ -49,6 +49,15 @@ bench-batching:
 # EXPERIMENTS.md and DESIGN.md section 10 for the discussion).
 bench-frontier:
 	go run ./cmd/experiments -only frontier -frontier-json BENCH_frontier.json
+
+# Distance-sketch query study: point-to-point throughput of the three
+# /v1/distance answering modes (exact bidirectional BFS vs O(k) sketch bound
+# lookup vs auto), plus the sketch's one-time build cost and footprint, one
+# dataset per generator family, bounds verified against the exact oracle on
+# every benchmark pair, recorded machine-readably in BENCH_sketch.json (see
+# EXPERIMENTS.md and DESIGN.md section 11 for the discussion).
+bench-sketch:
+	go run ./cmd/experiments -only sketch -sketch-json BENCH_sketch.json
 
 # Regenerate every table and figure of the paper (about 4 CPU-minutes).
 experiments:

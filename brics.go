@@ -42,6 +42,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	repro_io "repro/internal/io"
+	"repro/internal/sketch"
 	"repro/internal/topk"
 )
 
@@ -256,6 +257,29 @@ func Distance(g *Graph, s, t NodeID) int32 { return bfs.PointToPoint(g, s, t) }
 // Distance stays as the convenience wrapper for callers without a context.
 func DistanceContext(ctx context.Context, g *Graph, s, t NodeID) (int32, error) {
 	return bfs.PointToPointCtx(ctx, g, s, t)
+}
+
+// DistanceSketch is a cluster-BFS distance index: ~k seed clusters (degree-
+// picked centers grown to radius r) are swept once each through the 64-lane
+// bit-parallel engine, recording per (vertex, cluster) the base distance and
+// lane-visit bitmasks. After the one-time build, Bounds(u, v) returns a
+// proven [lower, upper] distance bracket — the best triangle-inequality
+// bound over the seeds both endpoints reached, refined through bitmask
+// intersection — in O(k) word operations with no traversal; Query escapes to
+// an exact bidirectional BFS when the bracket is wider than the caller's
+// tolerance. This is the index behind the server's /v1/distance
+// ?mode=sketch|auto and the top-k candidate filter (TopKOptions.Sketch).
+type DistanceSketch = sketch.Sketch
+
+// SketchOptions configures NewDistanceSketch; the zero value selects the
+// package defaults (16 clusters, radius 1, GOMAXPROCS workers).
+type SketchOptions = sketch.Options
+
+// NewDistanceSketch builds a DistanceSketch over a graph. The build costs
+// about one multi-source sweep per cluster and is bit-identical at every
+// worker count.
+func NewDistanceSketch(g *Graph, opts SketchOptions) *DistanceSketch {
+	return sketch.Build(g, opts)
 }
 
 // Closeness converts farness values to closeness centralities 1/farness

@@ -17,7 +17,10 @@
 // estimator-engine matrix; -batching-json writes it as BENCH_batching.json
 // (used by `make bench-batching`). The frontier experiment runs the
 // exact-farness engine × worker-count scaling study; -frontier-json writes it
-// as BENCH_frontier.json (used by `make bench-frontier`).
+// as BENCH_frontier.json (used by `make bench-frontier`). The sketch
+// experiment measures point-to-point distance throughput of the three
+// /v1/distance answering modes (exact vs sketch vs auto); -sketch-json writes
+// it as BENCH_sketch.json (used by `make bench-sketch`).
 // -cpuprofile/-memprofile capture pprof profiles of
 // whatever subset runs — the intended workflow for chasing kernel
 // regressions spotted in the matrix.
@@ -41,11 +44,12 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default stand-in sizes)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1, "sampling seed")
-		only       = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,traversal,batching,frontier,reduction,ablations,sweep")
+		only       = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,traversal,batching,frontier,sketch,reduction,ablations,sweep")
 		jsonOut    = flag.String("json", "", "write the reduction benchmark rows to this JSON file")
 		travOut    = flag.String("traversal-json", "", "write the traversal locality matrix to this JSON file")
 		batchOut   = flag.String("batching-json", "", "write the source-batching matrix to this JSON file")
 		frontOut   = flag.String("frontier-json", "", "write the frontier scaling study to this JSON file")
+		sketchOut  = flag.String("sketch-json", "", "write the distance-sketch query study to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		charts     = flag.Bool("charts", false, "render text bar charts in addition to the tables")
@@ -179,6 +183,16 @@ func main() {
 		if *frontOut != "" {
 			check(experiments.WriteFrontierJSON(*frontOut, cfg, rows))
 			fmt.Printf("wrote %s\n", *frontOut)
+		}
+		fmt.Println()
+	}
+	if run("sketch") {
+		rows, err := experiments.SketchBench(cfg)
+		check(err)
+		experiments.FprintSketch(os.Stdout, rows)
+		if *sketchOut != "" {
+			check(experiments.WriteSketchJSON(*sketchOut, cfg, rows))
+			fmt.Printf("wrote %s\n", *sketchOut)
 		}
 		fmt.Println()
 	}

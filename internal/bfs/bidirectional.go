@@ -30,7 +30,12 @@ func PointToPointCtx(ctx context.Context, g *graph.Graph, s, t graph.NodeID) (in
 
 func pointToPointDone(g *graph.Graph, s, t graph.NodeID, done <-chan struct{}) int32 {
 	if s == t {
-		return 0
+		return 0 // covers the single-node graph too: no scratch allocated
+	}
+	if g.Degree(s) == 0 || g.Degree(t) == 0 {
+		// An isolated endpoint can reach nothing but itself; answer the
+		// disconnected pair without allocating the two n-sized arrays.
+		return Unreached
 	}
 	n := g.NumNodes()
 	distS := make([]int32, n)

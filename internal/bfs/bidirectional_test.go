@@ -24,6 +24,48 @@ func TestPointToPointBasics(t *testing.T) {
 	}
 }
 
+// Edge cases that must return without allocating the full n-sized scratch:
+// src == dst (any graph), an isolated endpoint (the cheap disconnected
+// case), and the single-node graph.
+func TestPointToPointEdgeCasesAllocFree(t *testing.T) {
+	g := graph.FromEdges(5, [][2]int32{{0, 1}, {1, 2}}) // nodes 3, 4 isolated
+	single := graph.FromEdges(1, nil)
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		s, t graph.NodeID
+		want int32
+	}{
+		{"src==dst", g, 2, 2, 0},
+		{"isolated src", g, 3, 0, Unreached},
+		{"isolated dst", g, 0, 4, Unreached},
+		{"both isolated", g, 3, 4, Unreached},
+		{"single-node", single, 0, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := PointToPoint(c.g, c.s, c.t); got != c.want {
+				t.Fatalf("d(%d,%d) = %d, want %d", c.s, c.t, got, c.want)
+			}
+			allocs := testing.AllocsPerRun(20, func() { PointToPoint(c.g, c.s, c.t) })
+			if allocs != 0 {
+				t.Fatalf("d(%d,%d) allocated %.0f objects, want 0", c.s, c.t, allocs)
+			}
+		})
+	}
+}
+
+// Disconnected pairs with non-isolated endpoints still answer -1 (via the
+// search), and the search stops after exploring the smaller component.
+func TestPointToPointDisconnectedComponents(t *testing.T) {
+	g := graph.FromEdges(7, [][2]int32{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {5, 6}})
+	for _, c := range [][2]graph.NodeID{{0, 3}, {3, 0}, {2, 6}} {
+		if got := PointToPoint(g, c[0], c[1]); got != Unreached {
+			t.Fatalf("d(%d,%d) = %d, want %d", c[0], c[1], got, Unreached)
+		}
+	}
+}
+
 // Property: bidirectional distance equals BFS distance for random pairs on
 // random graphs (including disconnected ones).
 func TestPointToPointMatchesBFS(t *testing.T) {

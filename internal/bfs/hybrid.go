@@ -10,11 +10,12 @@ import (
 // This file holds the direction-optimising (Beamer-style push/pull hybrid)
 // per-source BFS. Top-down ("push") levels expand the frontier through its
 // out-edges; once the frontier's out-edge count mf exceeds a fraction of the
-// unexplored edges mu, the kernel flips to bottom-up ("pull") levels, where
-// every unvisited node scans its own neighbours for a frontier member and
-// stops at the first hit — on low-diameter graphs the one or two widest
-// levels dominate the edge scans, and the pull sweep's early exit skips most
-// of them. When the frontier shrinks below n/beta the kernel flips back.
+// unexplored edges mu (the DefaultTuning rule, see tuning.go), the kernel
+// flips to bottom-up ("pull") levels, where every unvisited node scans its
+// own neighbours for a frontier member and stops at the first hit — on
+// low-diameter graphs the one or two widest levels dominate the edge scans,
+// and the pull sweep's early exit skips most of them. When the frontier
+// shrinks below n/beta the kernel flips back.
 //
 // BFS levels are unique, so the hybrid produces exactly the distance array
 // of the plain kernel at every switch point: callers may substitute it
@@ -23,42 +24,9 @@ import (
 // implementation serves both the simple and the all-weights-one contracted
 // graphs.
 
-// Default direction-optimisation switching parameters: switch to bottom-up
-// when mf > mu/DefaultAlpha, back to top-down when the frontier has fewer
-// than n/DefaultBeta nodes. Beamer et al. use alpha = 14, tuned on suites
-// with average degree 16+ where a pull sweep's early exit hits quickly; on
-// the sparse graphs this repo's generator families model (average degree
-// 3–6) the per-node scan-until-hit is longer, so pull only pays once the
-// frontier's out-edges approach the unexplored-edge count — level traces
-// across all four families put the break-even near mu/4, and alpha = 4
-// picks exactly the levels where pull wins while never firing on road-like
-// graphs.
-const (
-	DefaultAlpha = 4
-	DefaultBeta  = 24
-)
-
-// pullFloor is the absolute cost floor of a pull level in units of n: the
-// sweep iterates every node (plus scan-until-hit edge reads), so pull can
-// only beat push when the frontier's out-edge count exceeds a few multiples
-// of n. Web-like graphs with average degree ~3 have wide levels whose mf
-// barely reaches n — the relative alpha test alone would flip them to pull
-// and lose.
-const pullFloor = 2
-
-// pullLevel decides the direction of the next level. All three tests are
-// stateless in (mf, mu, frontier), so the kernel flips back to push the
-// moment the frontier's edge mass drops instead of waiting out a hysteresis
-// window: mf > mu/alpha (frontier edges rival the unexplored region),
-// frontier ≥ n/beta nodes (the O(n) sweep isn't wasted on a narrow wave —
-// this is what keeps road-like graphs and every BFS tail, where mu decays
-// to zero and the alpha test fires vacuously, on the push path), and
-// mf > pullFloor·n (the sweep's absolute cost is covered).
-func pullLevel(mf, mu int64, frontierLen, n int) bool {
-	return mf > mu/DefaultAlpha &&
-		int64(frontierLen)*DefaultBeta >= int64(n) &&
-		mf > pullFloor*int64(n)
-}
+// The push/pull switching rule and its alpha/beta/floor constants live in
+// tuning.go (DirectionTuning / DefaultTuning / pullLevel), shared with the
+// msbfs pull path and the frontier-parallel engine.
 
 // HybridDistances runs a direction-optimising BFS from src, filling dist
 // like Distances (hop counts, Unreached for unreachable nodes). s may be

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/sketch"
 )
 
 // errBusy sheds load when every estimation slot is taken; handlers map it to
@@ -34,14 +35,75 @@ type generation struct {
 	mu      sync.Mutex // guards cache and flights; held only for map ops
 	cache   map[string]*core.Result
 	flights map[string]*flight
+
+	// sketch is the generation's cluster-BFS distance index, built lazily on
+	// the first sketch/auto distance (or sketch-filtered topk) request and
+	// shared by every subsequent one. Tied to the generation, it dies with
+	// the snapshot on the next edge mutation — the sketch can never answer
+	// against a stale graph.
+	sketchOnce sync.Once
+	sketch     *sketch.Sketch
+
+	// distCache memoises /v1/distance answers per (pair, mode, tolerance).
+	// The mode is part of the key — a sketch upper bound must never be
+	// served to an exact-mode caller — and the map is cleared wholesale when
+	// it reaches distCacheCap (simpler than LRU and rare at that size).
+	distMu    sync.Mutex
+	distCache map[distKey]distVal
 }
+
+// distKey canonicalises one distance query: endpoints ordered (the graph is
+// undirected), plus the answering mode and its tolerance.
+type distKey struct {
+	u, v graph.NodeID
+	mode distMode
+	tol  int32
+}
+
+// distVal is one cached distance answer.
+type distVal struct {
+	d      int32
+	lo, hi int32
+	method string
+}
+
+// distCacheCap bounds the per-generation distance cache (~1.5 MB of
+// entries); see generation.distCache.
+const distCacheCap = 1 << 16
 
 func newGeneration(g *graph.Graph) *generation {
 	return &generation{
-		g:       g,
-		cache:   make(map[string]*core.Result),
-		flights: make(map[string]*flight),
+		g:         g,
+		cache:     make(map[string]*core.Result),
+		flights:   make(map[string]*flight),
+		distCache: make(map[distKey]distVal),
 	}
+}
+
+// sketchFor returns the generation's sketch, building it on first use with
+// the server's configured options. Concurrent first callers block on the
+// build once; afterwards the sketch is read-only and lock-free.
+func (gen *generation) sketchFor(opts sketch.Options) *sketch.Sketch {
+	gen.sketchOnce.Do(func() { gen.sketch = sketch.Build(gen.g, opts) })
+	return gen.sketch
+}
+
+// lookupDist returns a cached distance answer for key.
+func (gen *generation) lookupDist(key distKey) (distVal, bool) {
+	gen.distMu.Lock()
+	v, ok := gen.distCache[key]
+	gen.distMu.Unlock()
+	return v, ok
+}
+
+// storeDist caches a distance answer, clearing the map when it is full.
+func (gen *generation) storeDist(key distKey, v distVal) {
+	gen.distMu.Lock()
+	if len(gen.distCache) >= distCacheCap {
+		clear(gen.distCache)
+	}
+	gen.distCache[key] = v
+	gen.distMu.Unlock()
 }
 
 // flight is one in-flight estimation run, deduplicating concurrent requests

@@ -11,7 +11,8 @@
 //	POST   /v1/estimate                       {"techniques":"BRIC","fraction":0.2,"seed":1,
 //	                                           "traversal":"auto","relabel":"none"}
 //	GET    /v1/farness/{node}?...             one node's estimate (same query params)
-//	GET    /v1/topk?k=10&...                  verified top-k (exact values)
+//	GET    /v1/topk?k=10&sketch=1&...         verified top-k (exact values)
+//	GET    /v1/distance?from=1&to=2&mode=auto point-to-point distance
 //	POST   /v1/edges                          {"u":1,"v":2} insert (exact dynamic update)
 //	DELETE /v1/edges?u=1&v=2                  remove an edge
 //
@@ -45,6 +46,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/sketch"
 	"repro/internal/topk"
 )
 
@@ -62,6 +64,11 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps any client-requested deadline. Default 5m.
 	MaxTimeout time.Duration
+	// Sketch configures the per-generation cluster-BFS distance index behind
+	// /v1/distance?mode=sketch|auto and /v1/topk?sketch=1. The zero value
+	// selects the sketch package defaults; Workers is inherited from the
+	// server when unset.
+	Sketch sketch.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +80,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.Sketch.Workers == 0 {
+		c.Sketch.Workers = c.Workers
 	}
 	return c
 }
@@ -432,6 +442,7 @@ type topkBody struct {
 	Nodes    []graph.NodeID `json:"nodes"`
 	Farness  []float64      `json:"farness"`
 	Verified int            `json:"verified"`
+	Filtered int            `json:"filtered"`
 	Certain  bool           `json:"certain"`
 }
 
@@ -475,14 +486,28 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeEstimateErr(w, errBusy)
 		return
 	}
-	res, err := topk.ClosenessContext(ctx, s.gen.Load().g, k, topk.Options{Estimate: opts})
+	gen := s.gen.Load()
+	topts := topk.Options{Estimate: opts}
+	// ?sketch=1 enables the cluster-sketch candidate filter: proven farness
+	// lower bounds skip verification traversals without changing the result.
+	if v := q.Get("sketch"); v != "" {
+		use, err := strconv.ParseBool(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad sketch %q (want a boolean)", v)
+			return
+		}
+		if use {
+			topts.Sketch = gen.sketchFor(s.cfg.Sketch)
+		}
+	}
+	res, err := topk.ClosenessContext(ctx, gen.g, k, topts)
 	if err != nil {
 		writeEstimateErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, topkBody{
 		Nodes: res.Nodes, Farness: res.Farness,
-		Verified: res.Verified, Certain: res.Certain,
+		Verified: res.Verified, Filtered: res.Filtered, Certain: res.Certain,
 	})
 }
 
@@ -552,6 +577,41 @@ type distanceBody struct {
 	From     graph.NodeID `json:"from"`
 	To       graph.NodeID `json:"to"`
 	Distance int32        `json:"distance"` // -1 when unreachable
+	// Method reports which path answered: "exact" (bidirectional BFS) or
+	// "sketch" (cluster-sketch bounds, no traversal).
+	Method string `json:"method"`
+	// Lower and Upper are the sketch's proven distance bounds; present only
+	// on sketch-consulted responses (mode=sketch|auto).
+	Lower *int32 `json:"lower,omitempty"`
+	Upper *int32 `json:"upper,omitempty"`
+}
+
+// distMode selects how /v1/distance answers one query.
+type distMode byte
+
+const (
+	// distExact (default) runs a bidirectional BFS per request.
+	distExact distMode = iota
+	// distSketch answers the sketch's proven upper bound in O(k) with no
+	// traversal (falling back to exact only when the sketch cannot bound the
+	// pair at all, e.g. across components).
+	distSketch
+	// distAuto answers from the sketch when its bound gap is within ?tol=
+	// (default 0: only proven-exact answers) and escapes to the exact BFS
+	// otherwise.
+	distAuto
+)
+
+func parseDistMode(s string) (distMode, error) {
+	switch s {
+	case "", "exact":
+		return distExact, nil
+	case "sketch":
+		return distSketch, nil
+	case "auto":
+		return distAuto, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want exact, sketch or auto)", s)
 }
 
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
@@ -566,27 +626,93 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "from and to query params required")
 		return
 	}
-	g := s.gen.Load().g
+	mode, err := parseDistMode(q.Get("mode"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var tol int32
+	if v := q.Get("tol"); v != "" {
+		t64, err := strconv.ParseInt(v, 10, 32)
+		if err != nil || t64 < 0 {
+			writeErr(w, http.StatusBadRequest, "bad tol %q (want an integer >= 0)", v)
+			return
+		}
+		tol = int32(t64)
+	}
+	gen := s.gen.Load()
+	g := gen.g
 	n := int64(g.NumNodes())
 	if from < 0 || to < 0 || from >= n || to >= n {
 		writeErr(w, http.StatusNotFound, "node out of range")
 		return
 	}
-	// The search honors the request's cancellation and ?timeout= deadline
-	// like every estimation endpoint: a closed connection or expired budget
-	// abandons the traversal at the next expansion level.
+	u, v := graph.NodeID(from), graph.NodeID(to)
+	respond := func(val distVal) {
+		body := distanceBody{From: u, To: v, Distance: val.d, Method: val.method}
+		if val.method == "sketch" {
+			body.Lower, body.Upper = &val.lo, &val.hi
+		}
+		writeJSON(w, http.StatusOK, body)
+	}
+	// Distance is symmetric on an undirected graph: cache under the ordered
+	// pair so (a,b) and (b,a) share an entry. The mode and tolerance are part
+	// of the key — see generation.distCache.
+	key := distKey{u: u, v: v, mode: mode, tol: tol}
+	if key.u > key.v {
+		key.u, key.v = key.v, key.u
+	}
+	if val, ok := gen.lookupDist(key); ok {
+		respond(val)
+		return
+	}
+	// The exact path honors the request's cancellation and ?timeout=
+	// deadline like every estimation endpoint: a closed connection or
+	// expired budget abandons the traversal at the next expansion level.
+	// Sketch answers are O(k) lookups and never need the context.
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	defer cancel()
-	d, err := bfs.PointToPointCtx(ctx, g, graph.NodeID(from), graph.NodeID(to))
-	if err != nil {
-		writeEstimateErr(w, err)
-		return
+	var val distVal
+	switch mode {
+	case distSketch:
+		if lo, hi, ok := gen.sketchFor(s.cfg.Sketch).Bounds(u, v); ok {
+			val = distVal{d: hi, lo: lo, hi: hi, method: "sketch"}
+		} else {
+			// The sketch cannot bound the pair (different components):
+			// answer exactly rather than failing the request.
+			d, err := bfs.PointToPointCtx(ctx, g, u, v)
+			if err != nil {
+				writeEstimateErr(w, err)
+				return
+			}
+			val = distVal{d: d, method: "exact"}
+		}
+	case distAuto:
+		sk := gen.sketchFor(s.cfg.Sketch)
+		if lo, hi, ok := sk.Bounds(u, v); ok && hi-lo <= tol {
+			val = distVal{d: hi, lo: lo, hi: hi, method: "sketch"}
+		} else {
+			d, err := bfs.PointToPointCtx(ctx, g, u, v)
+			if err != nil {
+				writeEstimateErr(w, err)
+				return
+			}
+			val = distVal{d: d, method: "exact"}
+		}
+	default:
+		d, err := bfs.PointToPointCtx(ctx, g, u, v)
+		if err != nil {
+			writeEstimateErr(w, err)
+			return
+		}
+		val = distVal{d: d, method: "exact"}
 	}
-	writeJSON(w, http.StatusOK, distanceBody{From: graph.NodeID(from), To: graph.NodeID(to), Distance: d})
+	gen.storeDist(key, val)
+	respond(val)
 }
 
 // ParseTechniques converts a "BRIC" letter string into a technique mask.

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// newSketchTestServer serves a connected graph (so exact distances are finite
+// and sketch bounds always apply) with a small sketch configuration.
+func newSketchTestServer(t *testing.T) (*Server, *httptest.Server, *graph.Graph) {
+	t.Helper()
+	g := graph.Connect(gen.Social(800, 9))
+	s, err := NewWithConfig(g, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts, g
+}
+
+// mode=auto with tol=0 only answers from the sketch when the bounds meet, so
+// its distances must equal exact mode's on every pair.
+func TestDistanceAutoMatchesExact(t *testing.T) {
+	_, ts, g := newSketchTestServer(t)
+	rng := rand.New(rand.NewSource(11))
+	n := g.NumNodes()
+	for i := 0; i < 40; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		var exact, auto distanceBody
+		if resp := getJSON(t, fmt.Sprintf("%s/v1/distance?from=%d&to=%d", ts.URL, u, v), &exact); resp.StatusCode != 200 {
+			t.Fatalf("exact (%d,%d): status %d", u, v, resp.StatusCode)
+		}
+		if resp := getJSON(t, fmt.Sprintf("%s/v1/distance?from=%d&to=%d&mode=auto", ts.URL, u, v), &auto); resp.StatusCode != 200 {
+			t.Fatalf("auto (%d,%d): status %d", u, v, resp.StatusCode)
+		}
+		if exact.Method != "exact" {
+			t.Fatalf("exact mode answered via %q", exact.Method)
+		}
+		if auto.Distance != exact.Distance {
+			t.Fatalf("auto d(%d,%d) = %d (method %s), exact %d", u, v, auto.Distance, auto.Method, exact.Distance)
+		}
+		if auto.Method == "sketch" && (auto.Lower == nil || auto.Upper == nil || *auto.Lower != *auto.Upper) {
+			t.Fatalf("auto sketch answer without tight bounds: %+v", auto)
+		}
+	}
+}
+
+// mode=sketch returns proven bounds bracketing the exact distance on every
+// pair of a connected graph.
+func TestDistanceSketchBounds(t *testing.T) {
+	_, ts, g := newSketchTestServer(t)
+	rng := rand.New(rand.NewSource(13))
+	n := g.NumNodes()
+	sawSketch := false
+	for i := 0; i < 40; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		var exact, sk distanceBody
+		getJSON(t, fmt.Sprintf("%s/v1/distance?from=%d&to=%d", ts.URL, u, v), &exact)
+		if resp := getJSON(t, fmt.Sprintf("%s/v1/distance?from=%d&to=%d&mode=sketch", ts.URL, u, v), &sk); resp.StatusCode != 200 {
+			t.Fatalf("sketch (%d,%d): status %d", u, v, resp.StatusCode)
+		}
+		if sk.Method != "sketch" {
+			t.Fatalf("sketch mode on a connected graph answered via %q", sk.Method)
+		}
+		if sk.Lower == nil || sk.Upper == nil {
+			t.Fatalf("sketch answer without bounds: %+v", sk)
+		}
+		if *sk.Lower > exact.Distance || exact.Distance > *sk.Upper {
+			t.Fatalf("bounds [%d,%d] exclude exact d(%d,%d)=%d", *sk.Lower, *sk.Upper, u, v, exact.Distance)
+		}
+		if sk.Distance != *sk.Upper {
+			t.Fatalf("sketch distance %d != upper bound %d", sk.Distance, *sk.Upper)
+		}
+		sawSketch = true
+	}
+	if !sawSketch {
+		t.Fatal("no sketch answers observed")
+	}
+}
+
+// The distance cache is keyed on (ordered pair, mode, tol): symmetric queries
+// share an entry, different modes never do.
+func TestDistanceCacheKeying(t *testing.T) {
+	s, ts, _ := newSketchTestServer(t)
+	var fwd, rev distanceBody
+	getJSON(t, ts.URL+"/v1/distance?from=5&to=120", &fwd)
+	getJSON(t, ts.URL+"/v1/distance?from=120&to=5", &rev)
+	if fwd.Distance != rev.Distance {
+		t.Fatalf("asymmetric cache: %d vs %d", fwd.Distance, rev.Distance)
+	}
+	gen := s.gen.Load()
+	if _, ok := gen.lookupDist(distKey{u: 5, v: 120, mode: distExact}); !ok {
+		t.Fatal("exact answer not cached under the ordered pair")
+	}
+	if _, ok := gen.lookupDist(distKey{u: 5, v: 120, mode: distSketch}); ok {
+		t.Fatal("sketch-mode entry exists before any sketch query")
+	}
+	var sk distanceBody
+	getJSON(t, ts.URL+"/v1/distance?from=120&to=5&mode=sketch", &sk)
+	if _, ok := gen.lookupDist(distKey{u: 5, v: 120, mode: distSketch}); !ok {
+		t.Fatal("sketch answer not cached under its own mode")
+	}
+}
+
+func TestDistanceBadParams(t *testing.T) {
+	_, ts, _ := newSketchTestServer(t)
+	for _, q := range []string{
+		"from=1&to=2&mode=magic",
+		"from=1&to=2&mode=auto&tol=-1",
+		"from=1&to=2&mode=auto&tol=abc",
+	} {
+		var eb errorBody
+		resp := getJSON(t, ts.URL+"/v1/distance?"+q, &eb)
+		if resp.StatusCode != 400 || eb.Error == "" {
+			t.Fatalf("%s: status %d body %+v, want 400 with error", q, resp.StatusCode, eb)
+		}
+	}
+}
+
+// ?sketch=1 must not change the top-k answer, only (possibly) the number of
+// verification traversals.
+func TestTopKSketchFilterIdentical(t *testing.T) {
+	_, ts, _ := newSketchTestServer(t)
+	base := "/v1/topk?k=8&fraction=0.3&seed=2"
+	var plain, filtered topkBody
+	if resp := getJSON(t, ts.URL+base, &plain); resp.StatusCode != 200 {
+		t.Fatalf("topk: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+base+"&sketch=1", &filtered); resp.StatusCode != 200 {
+		t.Fatalf("topk sketch: status %d", resp.StatusCode)
+	}
+	if len(plain.Nodes) != len(filtered.Nodes) {
+		t.Fatalf("length diverged: %d vs %d", len(plain.Nodes), len(filtered.Nodes))
+	}
+	for i := range plain.Nodes {
+		if plain.Nodes[i] != filtered.Nodes[i] || plain.Farness[i] != filtered.Farness[i] {
+			t.Fatalf("entry %d diverged: (%d,%v) vs (%d,%v)",
+				i, filtered.Nodes[i], filtered.Farness[i], plain.Nodes[i], plain.Farness[i])
+		}
+	}
+	var eb errorBody
+	if resp := getJSON(t, ts.URL+base+"&sketch=sometimes", &eb); resp.StatusCode != 400 {
+		t.Fatalf("bad sketch param: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/queue"
+	"repro/internal/sketch"
 )
 
 // Options configures the search.
@@ -34,6 +35,16 @@ type Options struct {
 	// MaxVerify caps exact traversals (0 = no cap). When the cap fires
 	// the result is best-effort and Result.Certain is false.
 	MaxVerify int
+	// Sketch, when non-nil, enables the cluster-sketch candidate filter: the
+	// sketch's proven per-node farness lower bounds (see
+	// sketch.FarnessLowerBounds) let the search skip the verification BFS of
+	// any candidate that provably cannot enter the top k — once k exact
+	// values are known, a candidate whose lower bound meets the k-th best
+	// farness is discarded unverified. The filter never changes the returned
+	// top-k set (the bound is proven, and ties cannot displace an
+	// equal-farness incumbent); with MaxVerify set it can only stretch the
+	// budget further. Result.Filtered counts the traversals saved.
+	Sketch *sketch.Sketch
 }
 
 // Result of a top-k search.
@@ -44,6 +55,9 @@ type Result struct {
 	Farness []float64
 	// Verified counts the exact traversals spent.
 	Verified int
+	// Filtered counts candidates whose verification traversal the sketch
+	// filter proved unnecessary (0 unless Options.Sketch was set).
+	Filtered int
 	// Certain reports whether the stopping rule concluded (true) or the
 	// MaxVerify cap fired (false).
 	Certain bool
@@ -129,6 +143,20 @@ func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 		opts.Estimate.Traversal != core.TraversalFrontier
 	exactCache := make([]float64, n)
 	haveExact := make([]bool, n)
+	// Sketch filter: proven farness lower bounds let the loop below discard
+	// candidates that cannot enter the top k without spending a BFS on them.
+	// skippable(v) is true only when the skip is provably result-neutral:
+	// k exact values are already held and far(v) ≥ lbFar[v] ≥ kth best, so
+	// inserting v's exact value would change nothing (an equal-farness
+	// candidate sorts after the incumbent and is truncated away).
+	var lbFar []int64
+	if opts.Sketch != nil {
+		lbFar = opts.Sketch.FarnessLowerBounds(workers)
+	}
+	skippable := func(v graph.NodeID) bool {
+		return lbFar != nil && len(best) == k && float64(lbFar[v]) >= best[k-1].far &&
+			!est.Exact[v] && !haveExact[v]
+	}
 	var ms *bfs.MSScratch
 	groupSize := 8
 	done := ctx.Done()
@@ -145,8 +173,9 @@ func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 		batch := make([]graph.NodeID, 0, size)
 		for _, vi := range order[startIdx:] {
 			v := graph.NodeID(vi)
-			if est.Exact[v] || haveExact[v] {
-				continue
+			if est.Exact[v] || haveExact[v] || skippable(v) {
+				continue // skippable lanes would be filtered before their
+				// cached sum is ever read — don't waste prefetch width
 			}
 			batch = append(batch, v)
 			if len(batch) == size {
@@ -211,6 +240,10 @@ func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 			if best[k-1].far <= bound {
 				break
 			}
+		}
+		if skippable(v) {
+			res.Filtered++
+			continue
 		}
 		if opts.MaxVerify > 0 && res.Verified >= opts.MaxVerify && !est.Exact[v] && !haveExact[v] {
 			// Budget exhausted; remaining candidates stay unverified.
