@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test vet check bench bench-reduction bench-traversal bench-batching bench-frontier bench-sketch experiments fuzz cover
+.PHONY: build test vet check chaos bench bench-reduction bench-traversal bench-batching bench-frontier bench-sketch experiments fuzz fuzz-smoke cover
 
 build:
 	go build ./...
@@ -17,6 +17,13 @@ test:
 check:
 	go vet ./...
 	go test -race ./...
+
+# Chaos suite: a live server under overload with seeded fault injection
+# (stalled flights, crashed traversals, refused mutations, forced drain),
+# always under the race detector and a hard timeout so a deadlock fails
+# loudly instead of hanging the build.
+chaos:
+	go test -race -count=1 -run 'TestChaos' -timeout 120s ./internal/server/
 
 # Benchmarks: one per paper table/figure plus kernel/ablation benches.
 bench: bench-reduction
@@ -66,7 +73,17 @@ experiments:
 fuzz:
 	go test ./internal/io -fuzz FuzzReadEdgeList -fuzztime 30s
 	go test ./internal/io -fuzz FuzzReadMatrixMarket -fuzztime 30s
+	go test ./internal/io -fuzz FuzzReadDIMACS -fuzztime 30s
+	go test ./internal/io -fuzz FuzzReadEdgeListTruncated -fuzztime 30s
 	go test ./internal/core -fuzz FuzzEstimatePipeline -fuzztime 60s
+
+# Short loader-fuzz smoke for CI: a few seconds per target catches parser
+# panics introduced by a loader change without the full fuzz budget.
+fuzz-smoke:
+	go test ./internal/io -fuzz FuzzReadEdgeList -fuzztime 5s
+	go test ./internal/io -fuzz FuzzReadMatrixMarket -fuzztime 5s
+	go test ./internal/io -fuzz FuzzReadDIMACS -fuzztime 5s
+	go test ./internal/io -fuzz FuzzReadEdgeListTruncated -fuzztime 5s
 
 cover:
 	go test -coverprofile=cover.out ./...

@@ -10,6 +10,8 @@
 //	curl -X POST localhost:8080/v1/estimate?timeout=5s -d '{"techniques":"BRIC","fraction":0.2}'
 //	curl localhost:8080/v1/topk?k=10
 //	curl -X POST localhost:8080/v1/edges -d '{"u":1,"v":2}'
+//	curl -X POST 'localhost:8080/v1/estimate?timeout=2s&degrade=accept' -d '{}'
+//	curl localhost:8080/v1/status
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: /readyz flips to 503 so
 // load balancers stop routing, in-flight requests get -drain to finish, and
@@ -46,6 +48,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request estimation deadline (override per request with ?timeout=)")
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested ?timeout= deadlines")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight requests")
+		softMargin = flag.Duration("soft-margin", 500*time.Millisecond, "answer degraded requests this long before their hard deadline, from the freshest progress snapshot")
+		degrade    = flag.Bool("degrade", false, "serve partial results on deadline by default (per-request override with ?degrade=accept|reject)")
 	)
 	flag.Parse()
 
@@ -76,10 +80,12 @@ func main() {
 	log.Printf("building exact index over %d nodes, %d edges ...", g.NumNodes(), g.NumEdges())
 	start := time.Now()
 	s, err := server.NewWithConfig(g, server.Config{
-		Workers:        *workers,
-		MaxInflight:    *inflight,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		Workers:          *workers,
+		MaxInflight:      *inflight,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		SoftMargin:       *softMargin,
+		DegradeByDefault: *degrade,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bricsd:", err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/bits"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/par"
 )
@@ -54,6 +55,9 @@ func runBatches(ctx context.Context, n int, sources []graph.NodeID, workers int,
 	handle BatchHandler) error {
 	if len(sources) == 0 {
 		return par.CtxErr(ctx)
+	}
+	if err := fault.Checkpoint(ctx, "bfs.batch"); err != nil {
+		return err
 	}
 	nb := numBatches(len(sources))
 	workers = par.Workers(workers)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/par"
 )
@@ -116,6 +117,9 @@ func FrontierDistances(g *graph.Graph, src graph.NodeID, dist []int32, workers i
 // polled once per frontier level. A non-nil return means dist is partial and
 // must be discarded.
 func FrontierDistancesCtx(ctx context.Context, g *graph.Graph, src graph.NodeID, dist []int32, workers int, fs *FrontierScratch) error {
+	if err := fault.Checkpoint(ctx, "bfs.frontier"); err != nil {
+		return err
+	}
 	offsets, adj := g.CSR()
 	frontierDone(offsets, adj, src, dist, workers, fs, ctx.Done())
 	return par.CtxErr(ctx)
@@ -132,6 +136,9 @@ func WFrontierDistances(g *graph.WGraph, unweighted bool, src graph.NodeID, dist
 // WFrontierDistancesCtx is WFrontierDistances with cooperative cancellation,
 // polled at level (BFS) or bucket (Dial) boundaries.
 func WFrontierDistancesCtx(ctx context.Context, g *graph.WGraph, unweighted bool, src graph.NodeID, dist []int32, workers int, fs *FrontierScratch) error {
+	if err := fault.Checkpoint(ctx, "bfs.frontier"); err != nil {
+		return err
+	}
 	wFrontierAutoDone(g, unweighted, src, dist, workers, fs, ctx.Done())
 	return par.CtxErr(ctx)
 }

@@ -74,7 +74,25 @@ func EstimateAdaptiveContext(ctx context.Context, g *graph.Graph, opts AdaptiveO
 		o.Seed = opts.Base.Seed + int64(round) // decorrelate rounds
 		res, err := EstimateContext(ctx, g, o)
 		if err != nil {
+			// Anytime degradation: a canceled round falls back to the last
+			// completed round's full result, re-marked Partial — it is a
+			// genuine estimate, just not the escalation's converged answer.
+			// (The interrupted round itself degrades via res.Partial below.)
+			if o.Anytime && prev != nil && canceledErr(err) {
+				out.Result = *prev
+				out.Result.Partial = true
+				out.Result.Completed = prev.Stats.Samples
+				out.Result.Planned = prev.Stats.Samples
+				return out, nil
+			}
 			return nil, err
+		}
+		if res.Partial {
+			// The round itself degraded into a partial result; surface it
+			// with its bounds rather than escalating further.
+			out.Rounds = append(out.Rounds, fraction)
+			out.Result = *res
+			return out, nil
 		}
 		out.Rounds = append(out.Rounds, fraction)
 		if prev != nil {

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Progress tracks a running estimation's sampling progress and, when the run
+// is anytime (Options.Anytime), holds the most recently published partial
+// snapshot. A Progress may be polled concurrently with the run it observes;
+// all methods are safe for concurrent use. The zero value is ready to use.
+type Progress struct {
+	planned   atomic.Int64
+	completed atomic.Int64
+	snap      atomic.Pointer[Result]
+
+	// OnAdvance, when non-nil, is called after every completed source with
+	// the new completed count and the planned total. It must be set before
+	// the run starts and must be fast and non-blocking; it runs on worker
+	// goroutines. Tests use it to cancel a run at an exact progress point.
+	OnAdvance func(completed, planned int64)
+}
+
+// Planned reports the total number of traversal sources the run intends to
+// complete (0 until sampling has been decided).
+func (p *Progress) Planned() int64 { return p.planned.Load() }
+
+// Completed reports how many sources have been fully accumulated so far.
+func (p *Progress) Completed() int64 { return p.completed.Load() }
+
+// Fraction reports Completed/Planned in [0,1]; 0 while Planned is unknown.
+func (p *Progress) Fraction() float64 {
+	pl := p.planned.Load()
+	if pl <= 0 {
+		return 0
+	}
+	f := float64(p.completed.Load()) / float64(pl)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Snapshot returns the most recently published partial result, or nil if the
+// run has not published one yet (too early, or the run is not anytime).
+// The returned Result is immutable — the run never mutates a published
+// snapshot — so callers may serve it directly.
+func (p *Progress) Snapshot() *Result { return p.snap.Load() }
+
+// anyState is the bookkeeping an anytime run threads through its traversal
+// fan-out. Consistency contract: workers hold mu.RLock for the whole
+// accumulation of one source's row (so shared accumulators only ever move
+// between snapshots by whole sources), and the snapshot assembler holds
+// mu.Lock while copying them. After the fan-out has returned (ForDynamicCtx
+// and the batch drivers join their workers before returning an error), the
+// accumulators are quiescent and assembly needs no lock at all — but takes
+// it anyway for simplicity.
+type anyState struct {
+	mu      sync.RWMutex
+	n       int
+	planned int64
+	prog    *Progress // may be nil: anytime without an observer
+
+	completed atomic.Int64
+	lastPub   atomic.Int64
+
+	// doneSrc[original id] = this source's row has been fully accumulated.
+	// Written under mu.RLock; indices are distinct per source.
+	doneSrc []bool
+
+	// Up to maxLandmarks full extended distance rows (original ids) captured
+	// from the first completed sources; immutable once appended.
+	lmMu      sync.Mutex
+	landmarks [][]int32
+
+	// assemble builds a partial Result from the current accumulators (it
+	// takes mu.Lock itself). Set by the driver once its accumulators exist;
+	// nil disables snapshot publication.
+	assemble func() *Result
+}
+
+const maxLandmarks = 4
+
+func newAnyState(n int, planned int, prog *Progress) *anyState {
+	a := &anyState{n: n, planned: int64(planned), prog: prog, doneSrc: make([]bool, n)}
+	if prog != nil {
+		prog.planned.Store(int64(planned))
+	}
+	return a
+}
+
+// markDone records a completed source and captures its extended distance row
+// as a landmark while slots remain. Must be called under mu.RLock, with row
+// holding original-id distances (len n).
+func (a *anyState) markDone(srcOrig graph.NodeID, row []int32) {
+	a.doneSrc[srcOrig] = true
+	if len(row) != a.n {
+		return
+	}
+	a.lmMu.Lock()
+	if len(a.landmarks) < maxLandmarks {
+		a.landmarks = append(a.landmarks, append([]int32(nil), row...))
+	}
+	a.lmMu.Unlock()
+}
+
+// advance bumps the completed counter, notifies the observer, and publishes
+// a fresh snapshot when one is due. Must be called after mu.RUnlock.
+func (a *anyState) advance() {
+	c := a.completed.Add(1)
+	if a.prog != nil {
+		a.prog.completed.Store(c)
+		if f := a.prog.OnAdvance; f != nil {
+			f(c, a.planned)
+		}
+	}
+	if a.prog == nil || a.assemble == nil || !a.publishDue(c) {
+		return
+	}
+	// Elect a single publisher per due point; losing the CAS means a more
+	// recent snapshot is already on its way.
+	last := a.lastPub.Load()
+	if c <= last || !a.lastPub.CompareAndSwap(last, c) {
+		return
+	}
+	if res := a.assemble(); res != nil {
+		a.prog.snap.Store(res)
+	}
+}
+
+// publishDue spaces snapshots: every power of two early on (so a soft
+// deadline landing moments into the run still finds something), then every
+// planned/8 completions.
+func (a *anyState) publishDue(c int64) bool {
+	if c&(c-1) == 0 {
+		return true
+	}
+	interval := a.planned / 8
+	if interval < 1 {
+		interval = 1
+	}
+	return c%interval == 0
+}
+
+// final assembles the end-of-run partial result after a canceled fan-out has
+// quiesced; nil when nothing completed.
+func (a *anyState) final() *Result {
+	if a.assemble == nil {
+		return nil
+	}
+	return a.assemble()
+}
+
+// landmarkRows returns the captured rows (the slice header is copied; the
+// rows themselves are immutable).
+func (a *anyState) landmarkRows() [][]int32 {
+	a.lmMu.Lock()
+	defer a.lmMu.Unlock()
+	return append([][]int32(nil), a.landmarks...)
+}
+
+// partialBounds computes proven per-vertex farness bounds from completed
+// sample rows plus landmark triangle inequalities. For a vertex v whose own
+// traversal did not complete,
+//
+//	farness(v) = Σ_{s done} d(v,s) + Σ_{w not done, w≠v} d(v,w)
+//
+// where the first term is exactly acc[v] (the run accumulated d(s,·) row by
+// whole rows). Each unknown term is bracketed through any completed landmark
+// row ℓ by the triangle inequality over the original graph:
+//
+//	max(1, |dℓ(v) − dℓ(w)|)  ≤  d(v,w)  ≤  dℓ(v) + dℓ(w)
+//
+// (distinct vertices of a connected unweighted graph are at distance ≥ 1).
+// Summed over the not-done population U with sorting + prefix sums this is
+// O(n log n) per landmark; the bound takes the max (lower) / min (upper)
+// over all captured landmarks. For done vertices Low = High = exact farness.
+// Degenerate calls (no landmarks) return (nil, nil).
+func partialBounds(n int, acc, exactFar []int64, done []bool, landmarks [][]int32) (low, high []float64) {
+	if len(landmarks) == 0 {
+		return nil, nil
+	}
+	low = make([]float64, n)
+	high = make([]float64, n)
+	for v := 0; v < n; v++ {
+		if done[v] {
+			f := float64(exactFar[v])
+			low[v], high[v] = f, f
+		} else {
+			low[v] = math.Inf(-1)
+			high[v] = math.Inf(1)
+		}
+	}
+	// The not-done population, shared by every landmark pass.
+	u := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if !done[v] {
+			u = append(u, v)
+		}
+	}
+	if len(u) == 0 {
+		return low, high
+	}
+	vals := make([]int64, len(u))
+	prefix := make([]int64, len(u)+1)
+	for _, lmRow := range landmarks {
+		for i, v := range u {
+			vals[i] = int64(lmRow[v])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for i, x := range vals {
+			prefix[i+1] = prefix[i] + x
+		}
+		sumU := prefix[len(u)]
+		m := int64(len(u))
+		for _, v := range u {
+			x := int64(lmRow[v])
+			// cLE values ≤ x with sum sumLE; cLT values < x.
+			cLE := sort.Search(len(u), func(k int) bool { return vals[k] > x })
+			cLT := sort.Search(len(u), func(k int) bool { return vals[k] >= x })
+			sumLE := prefix[cLE]
+			// T = Σ_{w∈U} |x − dℓ(w)|  (v's own term is 0).
+			t := x*int64(cLE) - sumLE + (sumU - sumLE) - x*(m-int64(cLE))
+			ties := int64(cLE - cLT) // values == x, including v itself
+			lowC := t + ties - 1     // each zero-gap pair still has d ≥ 1
+			highC := (m-1)*x + (sumU - x)
+			lo := float64(acc[v] + lowC)
+			hi := float64(acc[v] + highC)
+			if lo > low[v] {
+				low[v] = lo
+			}
+			if hi < high[v] {
+				high[v] = hi
+			}
+		}
+	}
+	return low, high
+}
+
+// assemblePartial builds the partial Result of an interrupted sampling run:
+// exact farness for every source whose row completed, the (n−1)/k′-scaled
+// extrapolation clamped into the proven bounds for the rest. Returns nil
+// when nothing usable completed.
+func assemblePartial(n int, planned int, acc, exactFar []int64, done []bool, landmarks [][]int32) *Result {
+	k := 0
+	for _, d := range done {
+		if d {
+			k++
+		}
+	}
+	if k == 0 || len(landmarks) == 0 {
+		return nil
+	}
+	low, high := partialBounds(n, acc, exactFar, done, landmarks)
+	res := &Result{
+		Farness:   make([]float64, n),
+		Exact:     append([]bool(nil), done...),
+		Low:       low,
+		High:      high,
+		Partial:   true,
+		Completed: k,
+		Planned:   planned,
+	}
+	scale := float64(n-1) / float64(k)
+	for v := 0; v < n; v++ {
+		if done[v] {
+			res.Farness[v] = float64(exactFar[v])
+			continue
+		}
+		est := float64(acc[v]) * scale
+		if est < low[v] {
+			est = low[v]
+		}
+		if est > high[v] {
+			est = high[v]
+		}
+		res.Farness[v] = est
+	}
+	res.Stats.Samples = k
+	return res
+}
+
+// finishPartial re-establishes the partial invariants after exact
+// propagation may have rewritten values: exact vertices collapse their
+// bounds, estimated vertices are clamped back inside theirs.
+func (r *Result) finishPartial() {
+	if !r.Partial || r.Low == nil {
+		return
+	}
+	for v := range r.Farness {
+		if r.Exact[v] {
+			r.Low[v], r.High[v] = r.Farness[v], r.Farness[v]
+			continue
+		}
+		if r.Farness[v] < r.Low[v] {
+			r.Farness[v] = r.Low[v]
+		}
+		if r.Farness[v] > r.High[v] {
+			r.Farness[v] = r.High[v]
+		}
+	}
+}
+
+// canceledErr reports whether err came from context cancellation or deadline
+// expiry (the only errors an anytime run degrades into a partial result).
+func canceledErr(err error) bool {
+	return err != nil && errors.Is(err, ErrCanceled)
+}

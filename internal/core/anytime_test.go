@@ -1,0 +1,320 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// anytimeFamilies are the four generator families of the acceptance
+// criteria. Sizes are kept small enough that the exact oracle stays cheap
+// but every reduction technique still fires.
+func anytimeFamilies(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	return map[string]*graph.Graph{
+		"web":       gen.Web(260, 3),
+		"social":    gen.Social(260, 5),
+		"community": gen.Community(260, 7),
+		"road":      gen.Road(240, 9),
+	}
+}
+
+// cancelAt returns a Progress whose OnAdvance cancels ctx the moment the
+// completed count reaches target. With Workers=1 the fan-out is sequential,
+// so exactly target sources complete — a deterministic partial run.
+func cancelAt(cancel context.CancelFunc, target int64) *Progress {
+	p := &Progress{}
+	p.OnAdvance = func(completed, _ int64) {
+		if completed == target {
+			cancel()
+		}
+	}
+	return p
+}
+
+// TestAnytimePartialBoundsContainExact is the acceptance property test:
+// a partial result's confidence interval [Low, High] must contain the true
+// farness of every vertex, on all four generator families, for the plain
+// sampling estimator, the ICR-reduced estimator and the cumulative method.
+func TestAnytimePartialBoundsContainExact(t *testing.T) {
+	for name, g := range anytimeFamilies(t) {
+		exact := ExactFarness(g, 4)
+		n := g.NumNodes()
+		for _, tech := range []Technique{0, TechICR, TechCumulative} {
+			ctx, cancel := context.WithCancel(context.Background())
+			prog := &Progress{}
+			opts := Options{
+				Techniques:     tech,
+				SampleFraction: 0.5,
+				Seed:           11,
+				Workers:        1,
+				Traversal:      TraversalPerSource,
+				Anytime:        true,
+				Progress:       prog,
+			}
+			// The cumulative path can only degrade once every cut traversal
+			// has completed (cuts-first ordering banks those first), so it is
+			// interrupted near the end; the global paths halfway through.
+			prog.OnAdvance = func(completed, planned int64) {
+				var target int64
+				if tech == TechCumulative {
+					target = planned - 2
+				} else {
+					target = planned / 2
+				}
+				if target < 1 {
+					target = 1
+				}
+				if completed == target {
+					cancel()
+				}
+			}
+			res, err := EstimateContext(ctx, g, opts)
+			cancel()
+			if err != nil {
+				t.Fatalf("%s/%v: want partial result, got error %v", name, tech, err)
+			}
+			if !res.Partial {
+				t.Fatalf("%s/%v: interrupted run not marked Partial", name, tech)
+			}
+			if res.Completed <= 0 || res.Completed >= res.Planned {
+				t.Fatalf("%s/%v: implausible progress %d/%d", name, tech, res.Completed, res.Planned)
+			}
+			if len(res.Low) != n || len(res.High) != n || len(res.Farness) != n {
+				t.Fatalf("%s/%v: bound slices sized %d/%d (farness %d), want %d",
+					name, tech, len(res.Low), len(res.High), len(res.Farness), n)
+			}
+			const eps = 1e-9
+			for v := 0; v < n; v++ {
+				if res.Low[v] > exact[v]+eps || res.High[v] < exact[v]-eps {
+					t.Fatalf("%s/%v: vertex %d exact farness %v outside CI [%v, %v] (exact flag %v)",
+						name, tech, v, exact[v], res.Low[v], res.High[v], res.Exact[v])
+				}
+				if res.Farness[v] < res.Low[v]-eps || res.Farness[v] > res.High[v]+eps {
+					t.Fatalf("%s/%v: vertex %d estimate %v outside its own CI [%v, %v]",
+						name, tech, v, res.Farness[v], res.Low[v], res.High[v])
+				}
+				if res.Exact[v] && math.Abs(res.Farness[v]-exact[v]) > eps {
+					t.Fatalf("%s/%v: vertex %d flagged exact but farness %v != %v",
+						name, tech, v, res.Farness[v], exact[v])
+				}
+			}
+		}
+	}
+}
+
+// TestAnytimeFullRunsBitIdentical: an uninterrupted anytime run must produce
+// exactly the same floats as the plain run, at every worker count and for
+// every technique — the anytime bookkeeping adds observation, never changes
+// an accumulated integer.
+func TestAnytimeFullRunsBitIdentical(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"community": gen.Community(600, 4),
+		"web":       gen.Web(500, 6),
+	} {
+		for _, tech := range []Technique{0, TechICR, TechCumulative} {
+			for _, workers := range []int{1, 2, 4} {
+				opts := Options{Techniques: tech, SampleFraction: 0.3, Seed: 21, Workers: workers}
+				want, err := Estimate(g, opts)
+				if err != nil {
+					t.Fatalf("%s/%v/w%d: %v", name, tech, workers, err)
+				}
+				prog := &Progress{}
+				opts.Anytime = true
+				opts.Progress = prog
+				got, err := EstimateContext(context.Background(), g, opts)
+				if err != nil {
+					t.Fatalf("%s/%v/w%d anytime: %v", name, tech, workers, err)
+				}
+				if got.Partial {
+					t.Fatalf("%s/%v/w%d: uninterrupted run marked Partial", name, tech, workers)
+				}
+				for i := range want.Farness {
+					if want.Farness[i] != got.Farness[i] {
+						t.Fatalf("%s/%v/w%d: farness[%d] %v (plain) != %v (anytime)",
+							name, tech, workers, i, want.Farness[i], got.Farness[i])
+					}
+					if want.Exact[i] != got.Exact[i] {
+						t.Fatalf("%s/%v/w%d: exact[%d] differs", name, tech, workers, i)
+					}
+				}
+				if c, p := prog.Completed(), prog.Planned(); c != p || p == 0 {
+					t.Fatalf("%s/%v/w%d: progress %d/%d after a full run", name, tech, workers, c, p)
+				}
+			}
+		}
+	}
+}
+
+// TestAnytimeSnapshots: a running global estimation publishes monotonically
+// fresher snapshots; each published snapshot is internally consistent.
+func TestAnytimeSnapshots(t *testing.T) {
+	g := gen.Community(500, 13)
+	prog := &Progress{}
+	var snaps int64
+	prog.OnAdvance = func(completed, planned int64) {
+		if s := prog.Snapshot(); s != nil {
+			atomic.AddInt64(&snaps, 1)
+			if !s.Partial || s.Completed <= 0 || s.Completed > int(completed) {
+				panic("inconsistent snapshot")
+			}
+		}
+	}
+	opts := Options{SampleFraction: 0.4, Seed: 3, Workers: 1, Traversal: TraversalPerSource,
+		Anytime: true, Progress: prog}
+	if _, err := EstimateContext(context.Background(), g, opts); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&snaps) == 0 {
+		t.Fatal("no snapshot was ever observable during the run")
+	}
+	final := prog.Snapshot()
+	if final == nil || !final.Partial {
+		t.Fatal("final published snapshot missing or not partial")
+	}
+	if len(final.Low) != g.NumNodes() {
+		t.Fatalf("snapshot bounds sized %d, want %d", len(final.Low), g.NumNodes())
+	}
+}
+
+// TestAnytimeNothingCompleted: cancellation before any source completes has
+// no partial result to offer — the run must fail with ErrCanceled exactly as
+// a non-anytime run does.
+func TestAnytimeNothingCompleted(t *testing.T) {
+	g := gen.Community(300, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	restore := fault.Set("core.traverse", func(context.Context) error {
+		cancel() // before the fan-out claims its first source
+		return nil
+	})
+	defer restore()
+	res, err := EstimateContext(ctx, g, Options{SampleFraction: 0.3, Seed: 1, Anytime: true})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if res != nil {
+		t.Fatal("run with zero completed sources must not fabricate a partial result")
+	}
+}
+
+// TestRandomSamplingAnytime covers the standalone random-sampling driver:
+// partial runs carry bounds containing the truth, full runs stay
+// bit-identical to the plain mode across traversal engines.
+func TestRandomSamplingAnytime(t *testing.T) {
+	g := gen.Community(400, 8)
+	exact := ExactFarness(g, 4)
+	n := g.NumNodes()
+
+	// Bit-identity of the uninterrupted run, per traversal mode and worker
+	// count — the anytime batched path swaps the mask-streaming engine for
+	// whole-row batches, which must not change a single accumulated integer.
+	for _, mode := range []TraversalMode{TraversalPerSource, TraversalBatched, TraversalAuto} {
+		for _, workers := range []int{1, 3} {
+			want, err := RandomSamplingModeContext(context.Background(), g, 0.3, workers, 5, mode, BatchingAuto)
+			if err != nil {
+				t.Fatalf("mode %v w%d: %v", mode, workers, err)
+			}
+			prog := &Progress{}
+			got, err := RandomSamplingAnytimeContext(context.Background(), g, 0.3, workers, 5, mode, BatchingAuto, prog)
+			if err != nil {
+				t.Fatalf("mode %v w%d anytime: %v", mode, workers, err)
+			}
+			for i := range want.Farness {
+				if want.Farness[i] != got.Farness[i] {
+					t.Fatalf("mode %v w%d: farness[%d] %v != %v", mode, workers, i, want.Farness[i], got.Farness[i])
+				}
+			}
+		}
+	}
+
+	// Deterministic partial run: cancel halfway, workers=1, per-source.
+	ctx, cancel := context.WithCancel(context.Background())
+	prog := &Progress{}
+	prog.OnAdvance = func(completed, planned int64) {
+		if completed == planned/2 {
+			cancel()
+		}
+	}
+	res, err := RandomSamplingAnytimeContext(ctx, g, 0.4, 1, 5, TraversalPerSource, BatchingAuto, prog)
+	cancel()
+	if err != nil {
+		t.Fatalf("want partial result, got %v", err)
+	}
+	if !res.Partial || res.Completed <= 0 || res.Completed >= res.Planned {
+		t.Fatalf("bad partial: partial=%v %d/%d", res.Partial, res.Completed, res.Planned)
+	}
+	const eps = 1e-9
+	for v := 0; v < n; v++ {
+		if res.Low[v] > exact[v]+eps || res.High[v] < exact[v]-eps {
+			t.Fatalf("vertex %d exact %v outside CI [%v, %v]", v, exact[v], res.Low[v], res.High[v])
+		}
+	}
+}
+
+// TestAdaptivePartial: a round interrupted mid-flight surfaces that round's
+// partial result (bounds included) instead of failing the whole escalation.
+func TestAdaptivePartial(t *testing.T) {
+	g := gen.Community(400, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	prog := &Progress{}
+	var total atomic.Int64
+	prog.OnAdvance = func(int64, int64) {
+		// Let round 0 finish (small fraction) and cancel partway into a later
+		// round: total advances across rounds share one counter.
+		if total.Add(1) == 40 {
+			cancel()
+		}
+	}
+	res, err := EstimateAdaptiveContext(ctx, g, AdaptiveOptions{
+		Base:            Options{Seed: 17, Workers: 1, Traversal: TraversalPerSource, Anytime: true, Progress: prog},
+		InitialFraction: 0.05,
+		TargetError:     1e-9, // force escalation until the cancel lands
+	})
+	cancel()
+	if err != nil {
+		t.Fatalf("want degraded adaptive result, got %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("interrupted adaptive run not marked Partial")
+	}
+	if len(res.Farness) != g.NumNodes() {
+		t.Fatalf("result sized %d, want %d", len(res.Farness), g.NumNodes())
+	}
+}
+
+// TestAdaptivePrevRoundFallback: when a later round dies before completing a
+// single source, the escalation falls back to the last full round's result,
+// re-marked Partial.
+func TestAdaptivePrevRoundFallback(t *testing.T) {
+	g := gen.Community(400, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	var rounds atomic.Int64
+	restore := fault.Set("core.traverse", func(context.Context) error {
+		if rounds.Add(1) == 2 { // kill round 1 before its fan-out starts
+			cancel()
+		}
+		return nil
+	})
+	defer restore()
+	res, err := EstimateAdaptiveContext(ctx, g, AdaptiveOptions{
+		Base:            Options{Seed: 23, Anytime: true},
+		InitialFraction: 0.05,
+		TargetError:     1e-9,
+	})
+	cancel()
+	if err != nil {
+		t.Fatalf("want previous round's result, got %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("fallback result not marked Partial")
+	}
+	if len(res.Rounds) != 1 {
+		t.Fatalf("expected exactly the first round recorded, got %v", res.Rounds)
+	}
+}

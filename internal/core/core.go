@@ -138,6 +138,20 @@ type Options struct {
 	// adaptive error estimation, per node). Costs one extra accumulation
 	// array; Result.StdErr is nil when off.
 	ComputeStdErr bool
+	// Anytime turns the run into an anytime computation: instead of
+	// discarding everything on ctx cancellation/deadline, the estimator
+	// assembles a Partial result from the sources that completed — exact
+	// farness for them, clamped extrapolations plus proven [Low, High]
+	// bounds for the rest (see DESIGN.md §12). Uninterrupted runs are
+	// bit-identical to Anytime=false. When no source completed before the
+	// cancellation (or the cumulative gating fails, see estimateCumulative)
+	// the run still returns nil + ErrCanceled.
+	Anytime bool
+	// Progress, when non-nil, receives live planned/completed counts and —
+	// under Anytime — periodically published partial snapshots that a
+	// concurrent observer (e.g. a server hitting its soft deadline) can
+	// serve without interrupting the run.
+	Progress *Progress
 }
 
 func (o *Options) fraction() float64 {
@@ -181,6 +195,19 @@ type Result struct {
 	// StdErr estimates each node's standard error (0 for exact values);
 	// nil unless Options.ComputeStdErr was set.
 	StdErr []float64
+	// Partial marks an anytime run that was cut short: Farness mixes exact
+	// values (Exact[v] true) with bounded extrapolations, Completed out of
+	// Planned sources finished, and Low/High bracket every node's true
+	// farness (Low[v] = High[v] = Farness[v] where Exact). A Partial result
+	// must never be cached or served as exact.
+	Partial bool
+	// Completed and Planned report the sampling progress of a Partial run
+	// (zero on full runs).
+	Completed, Planned int
+	// Low and High are proven per-node farness bounds, derived from the
+	// completed rows plus landmark triangle inequalities; nil unless
+	// Partial.
+	Low, High []float64
 	// Stats reports run metadata.
 	Stats RunStats
 }
@@ -263,6 +290,9 @@ func EstimateContext(ctx context.Context, g *graph.Graph, opts Options) (*Result
 	if !opts.DisableExactPropagation {
 		propagateExact(red, res)
 	}
+	// Propagation may rewrite a partial run's values (closed forms for
+	// twins/chains); restore the bound invariants afterwards.
+	res.finishPartial()
 	return res, nil
 }
 

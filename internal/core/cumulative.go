@@ -15,6 +15,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/queue"
 	"repro/internal/reduce"
 )
 
@@ -206,6 +207,27 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 			}
 		}
 		totalSamples += len(samples)
+	}
+
+	// Anytime bookkeeping. "Planned" counts traversal units — a cut vertex
+	// once per block it belongs to — matching totalSamples. A partial
+	// cumulative result additionally requires every cut traversal to have
+	// completed (the tree aggregation has no per-source fallback), which the
+	// cuts-first task ordering below makes the common case; eff* hold the
+	// per-block completed counts the partial assembly substitutes for the
+	// planned ones.
+	var any *anyState
+	var effNs, effRand, effAssigned []int64
+	var cutPairsDone atomic.Int64
+	totalCutPairs := 0
+	for b := 0; b < nb; b++ {
+		totalCutPairs += len(tree.BlockCuts[b])
+	}
+	if opts.Anytime || opts.Progress != nil {
+		any = newAnyState(n, totalSamples, opts.Progress)
+		effNs = make([]int64, nb)
+		effRand = make([]int64, nb)
+		effAssigned = make([]int64, nb)
 	}
 
 	// Local (per-block) weighted subgraphs.
@@ -411,6 +433,21 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 			}
 		}
 	}
+	// Cuts-first ordering for anytime runs: every accumulator is keyed by
+	// source id, so task order never changes an output integer — but running
+	// the cut traversals first means an interrupted run has usually banked
+	// all of them, which is what gates the partial assembly.
+	if any != nil {
+		hasCut := func(t task) bool {
+			for _, s := range t.srcs {
+				if tree.CutIndex[s] >= 0 {
+					return true
+				}
+			}
+			return false
+		}
+		sort.SliceStable(tasks, func(i, j int) bool { return hasCut(tasks[i]) && !hasCut(tasks[j]) })
+	}
 	workers := workersEff
 	maxW := red.G.MaxWeight()
 	type ws struct {
@@ -482,8 +519,28 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 
 	// accumulateSource consumes one source's block-local distance row:
 	// extend to removed nodes, then feed every accumulator. Shared by both
-	// engines, so their farness outputs are bit-identical.
+	// engines, so their farness outputs are bit-identical. Under anytime the
+	// whole consumption runs inside the read lock and ends by recording the
+	// completed traversal unit.
 	accumulateSource := func(w *ws, b int32, src graph.NodeID, dist []int32) {
+		if any != nil {
+			any.mu.RLock()
+			defer func() {
+				srcAssigned := homeOf[src] == b
+				atomic.AddInt64(&effNs[b], 1)
+				if tree.CutIndex[src] < 0 {
+					atomic.AddInt64(&effRand[b], 1)
+				} else {
+					cutPairsDone.Add(1)
+				}
+				if srcAssigned {
+					atomic.AddInt64(&effAssigned[b], 1)
+					any.doneSrc[red.ToOld[src]] = true
+				}
+				any.mu.RUnlock()
+				any.advance()
+			}()
+		}
 		extendBlock(w, b, dist)
 		members := d.BlockNodes[b]
 		srcAssigned := homeOf[src] == b
@@ -541,7 +598,7 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 		}
 	}
 
-	if err := par.ForDynamicCtx(ctx, len(tasks), workers, 1, func(worker, ti int) {
+	passErr := par.ForDynamicCtx(ctx, len(tasks), workers, 1, func(worker, ti int) {
 		w := &scratch[worker]
 		t := tasks[ti]
 		members := d.BlockNodes[t.b]
@@ -550,7 +607,7 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 			dist := w.s.Dist[:len(members)]
 			blockTraverse(w, t.b, src, dist)
 			if par.Interrupted(done) {
-				return // partial row; the whole run is about to error out
+				return // partial row; an anytime run keeps only whole rows
 			}
 			accumulateSource(w, t.b, src, dist)
 			return
@@ -572,10 +629,25 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 		for lane, src := range t.srcs {
 			accumulateSource(w, t.b, src, rows[lane])
 		}
-	}); err != nil {
-		return nil, err
-	}
+	})
 	trav := time.Since(travStart)
+	// canPartial gates graceful degradation: the tree aggregation and pass 2
+	// are all-or-nothing over the cut traversals, so a partial cumulative
+	// result exists only when every (block, cut) traversal completed (the
+	// cuts-first ordering banks those first) and pass 2 can replay cached cut
+	// rows rather than re-traverse under a dead context. Otherwise the run
+	// fails over to the historical nil + ErrCanceled.
+	canPartial := func(err error) bool {
+		return any != nil && opts.Anytime && canceledErr(err) && useCutCache &&
+			totalCutPairs > 0 && int(cutPairsDone.Load()) == totalCutPairs
+	}
+	partial := false
+	if passErr != nil {
+		if !canPartial(passErr) {
+			return nil, passErr
+		}
+		partial = true
+	}
 
 	// Aggregate across the tree. One correction first: a twin whose
 	// representative is a cut vertex c behaves as a copy *at* c — for any
@@ -601,8 +673,13 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 			sumDist[b][li] -= int64(len(te.Members)) * int64(te.GroupDist)
 		}
 	}
-	if err := fault.Checkpoint(ctx, "core.aggregate"); err != nil {
-		return nil, err
+	if !partial {
+		if err := fault.Checkpoint(ctx, "core.aggregate"); err != nil {
+			if !canPartial(err) {
+				return nil, err
+			}
+			partial = true
+		}
 	}
 	aggStart := time.Now()
 	contrib := tree.Aggregate(&bct.Inputs{Pop: pop, SumDist: sumDist, CutDist: cutDist})
@@ -622,46 +699,66 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 		}
 		crossConst[b] = c
 	}
-	if err := par.ForDynamicCtx(ctx, len(cutTasks), workers, 1, func(worker, ti int) {
-		t := cutTasks[ti]
-		b := t.b
-		src := t.srcs[0]
-		li := tree.CutPos(b, tree.CutIndex[src])
-		wout := contrib.Wout[b][li]
-		if useCutCache {
-			// Replay the cached pass-1 row in its canonical order:
-			// assigned members first, then per-event removed nodes.
-			row := cutRows[int(cutRowBase[b])+li]
-			i := 0
+	pass2 := func(p2ctx context.Context) error {
+		return par.ForDynamicCtx(p2ctx, len(cutTasks), workers, 1, func(worker, ti int) {
+			t := cutTasks[ti]
+			b := t.b
+			src := t.srcs[0]
+			li := tree.CutPos(b, tree.CutIndex[src])
+			wout := contrib.Wout[b][li]
+			if useCutCache {
+				// Replay the cached pass-1 row in its canonical order:
+				// assigned members first, then per-event removed nodes.
+				row := cutRows[int(cutRowBase[b])+li]
+				i := 0
+				for _, m := range d.BlockNodes[b] {
+					if homeOf[m] == b {
+						atomic.AddInt64(&crossAcc[red.ToOld[m]], wout*int64(row[i]))
+						i++
+					}
+				}
+				for _, ei := range blockEvents[b] {
+					for _, r := range red.Events[ei].Removed() {
+						atomic.AddInt64(&crossAcc[r], wout*int64(row[i]))
+						i++
+					}
+				}
+				return
+			}
+			w := &scratch[worker]
+			runBlockSource(w, b, src)
 			for _, m := range d.BlockNodes[b] {
 				if homeOf[m] == b {
-					atomic.AddInt64(&crossAcc[red.ToOld[m]], wout*int64(row[i]))
-					i++
+					o := red.ToOld[m]
+					atomic.AddInt64(&crossAcc[o], wout*int64(w.distOrig[o]))
 				}
 			}
 			for _, ei := range blockEvents[b] {
 				for _, r := range red.Events[ei].Removed() {
-					atomic.AddInt64(&crossAcc[r], wout*int64(row[i]))
-					i++
+					atomic.AddInt64(&crossAcc[r], wout*int64(w.distOrig[r]))
 				}
 			}
-			return
+		})
+	}
+	// A partial run replays pass 2 under a fresh context (ctx is already
+	// dead, and the gating above guarantees the cached-row path). A full run
+	// whose context dies *during* pass 2 leaves crossAcc torn — zero it and
+	// replay cleanly if the gate allows, else abandon as before.
+	p2ctx := ctx
+	if partial {
+		p2ctx = context.Background()
+	}
+	if err := pass2(p2ctx); err != nil {
+		if !canPartial(err) {
+			return nil, err
 		}
-		w := &scratch[worker]
-		runBlockSource(w, b, src)
-		for _, m := range d.BlockNodes[b] {
-			if homeOf[m] == b {
-				o := red.ToOld[m]
-				atomic.AddInt64(&crossAcc[o], wout*int64(w.distOrig[o]))
-			}
+		partial = true
+		for i := range crossAcc {
+			crossAcc[i] = 0
 		}
-		for _, ei := range blockEvents[b] {
-			for _, r := range red.Events[ei].Removed() {
-				atomic.AddInt64(&crossAcc[r], wout*int64(w.distOrig[r]))
-			}
+		if err := pass2(context.Background()); err != nil {
+			return nil, err
 		}
-	}); err != nil {
-		return nil, err
 	}
 
 	// Assembly.
@@ -676,21 +773,48 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 			Traverse:            trav,
 		},
 	}
+	// A partial run only trusts sources whose assigned traversal completed;
+	// everything else falls back to the extrapolation branches below with
+	// the effective (completed) counts in place of the planned ones.
 	sampled := make([]bool, n)
-	for b := 0; b < nb; b++ {
-		for _, s := range blockSamples[b] {
-			sampled[red.ToOld[s]] = true
+	if partial {
+		copy(sampled, any.doneSrc)
+	} else {
+		for b := 0; b < nb; b++ {
+			for _, s := range blockSamples[b] {
+				sampled[red.ToOld[s]] = true
+			}
 		}
 	}
-	if sumSqA != nil {
+	nsOf := func(b int32) int {
+		if partial {
+			return int(effNs[b])
+		}
+		return len(blockSamples[b])
+	}
+	kaOf := func(b int32) int64 {
+		if partial {
+			return effAssigned[b]
+		}
+		return int64(numAssignedSamples[b])
+	}
+	nrOf := func(b int32) int64 {
+		if partial {
+			return effRand[b]
+		}
+		return int64(numRand[b])
+	}
+	if sumSqA != nil && !partial {
 		res.StdErr = make([]float64, n)
 	}
 	// Blocks whose assigned population is covered by a single sample get
 	// the landmark midpoint estimate for their in-block part (see
-	// landmarkSums); averages cannot be calibrated from one row.
+	// landmarkSums); averages cannot be calibrated from one row. (Partial
+	// runs skip this and the offset calibration: both mix planned-sample
+	// bookkeeping with completed-source sums, which no longer match.)
 	lmVal := make([]float64, n)
 	lmSet := make([]bool, n)
-	if opts.Estimator == EstimatorWeighted {
+	if opts.Estimator == EstimatorWeighted && !partial {
 		for b := 0; b < nb; b++ {
 			if numAssignedSamples[b] != 1 || pop[b] <= 2 {
 				continue
@@ -738,8 +862,8 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 			continue
 		}
 		var inEst float64
-		ns := len(blockSamples[b])
-		m := pop[b] - int64(numAssignedSamples[b]) // assigned non-sample mass
+		ns := nsOf(b)
+		m := pop[b] - kaOf(b) // assigned non-sample mass
 		switch {
 		case lmSet[o]:
 			inEst = lmVal[o]
@@ -747,7 +871,7 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 			if ns > 0 {
 				inEst = float64(pop[b]-1) / float64(ns) * float64(sumAll[o])
 			}
-		case numAssignedSamples[b] > 1 && m > 0:
+		case !partial && numAssignedSamples[b] > 1 && m > 0:
 			// Additive offset calibration (see estimateGlobal): the
 			// assigned non-sampled mass sits on average Δ farther than
 			// the samples do from each other.
@@ -767,15 +891,15 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 				unknown = 0
 			}
 			var avg float64
-			if numRand[b] > 0 {
-				avg = float64(sumRand[o]) / float64(numRand[b])
+			if nr := nrOf(b); nr > 0 {
+				avg = float64(sumRand[o]) / float64(nr)
 			} else if ns > 0 {
 				avg = float64(sumAll[o]) / float64(ns)
 			}
 			inEst = float64(sumAssigned[o]) + avg*float64(unknown)
 		}
 		res.Farness[o] = inEst + cross
-		if sumSqA != nil {
+		if res.StdErr != nil {
 			// In-block standard error: the cross-block part is exact, so
 			// only the in-block extrapolation contributes variance.
 			if ka := int64(numAssignedSamples[b]); ka > 1 && m > 1 {
@@ -787,6 +911,46 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 				res.StdErr[o] = float64(m-1) * math.Sqrt(variance/float64(ka))
 			}
 		}
+	}
+	if partial {
+		// Proven bounds for the partial result. The cumulative accumulators
+		// hold block-local sums, not full-graph rows, so no completed-source
+		// sharpening applies; instead run up to maxLandmarks fresh BFS
+		// traversals from cut vertices (central by construction) on the
+		// original graph and bracket every farness with pure landmark
+		// triangle bounds, then clamp the estimates into them.
+		lmSrcs := tree.Cuts
+		if len(lmSrcs) > maxLandmarks {
+			lmSrcs = lmSrcs[:maxLandmarks]
+		}
+		lms := make([][]int32, 0, len(lmSrcs))
+		q := queue.NewFIFO(n)
+		for _, c := range lmSrcs {
+			row := make([]int32, n)
+			bfs.Distances(red.Orig, red.ToOld[c], row, q)
+			lms = append(lms, row)
+		}
+		low, high := partialBounds(n, make([]int64, n), make([]int64, n), make([]bool, n), lms)
+		if low == nil {
+			return nil, passErr
+		}
+		for o := 0; o < n; o++ {
+			if res.Exact[o] {
+				low[o], high[o] = res.Farness[o], res.Farness[o]
+				continue
+			}
+			if res.Farness[o] < low[o] {
+				res.Farness[o] = low[o]
+			}
+			if res.Farness[o] > high[o] {
+				res.Farness[o] = high[o]
+			}
+		}
+		res.Partial = true
+		res.Completed = int(any.completed.Load())
+		res.Planned = totalSamples
+		res.Low, res.High = low, high
+		res.Stats.Samples = res.Completed
 	}
 	res.Stats.Aggregate = time.Since(aggStart)
 	return res, nil

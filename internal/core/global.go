@@ -58,6 +58,14 @@ func estimateGlobal(ctx context.Context, red *reduce.Reduction, opts *Options) (
 	}
 	res.Stats.Samples = k + len(extraOrig)
 
+	// Anytime bookkeeping: every completed row marks its source done under a
+	// read lock, so snapshots (and the end-of-run partial assembly) only ever
+	// observe whole-source accumulator states.
+	var any *anyState
+	if opts.Anytime || opts.Progress != nil {
+		any = newAnyState(n, k+len(extraOrig), opts.Progress)
+	}
+
 	if err := fault.Checkpoint(ctx, "core.traverse"); err != nil {
 		return nil, err
 	}
@@ -107,6 +115,9 @@ func estimateGlobal(ctx context.Context, red *reduce.Reduction, opts *Options) (
 	}
 
 	accumulateRow := func(w *ws, srcOrig graph.NodeID) {
+		if any != nil {
+			any.mu.RLock()
+		}
 		var own, toSamples int64
 		for v, d := range w.distOrig {
 			own += int64(d)
@@ -121,6 +132,32 @@ func estimateGlobal(ctx context.Context, red *reduce.Reduction, opts *Options) (
 		atomic.StoreInt64(&exactFar[srcOrig], own)
 		atomic.AddInt64(&s2s, toSamples)
 		atomic.AddInt64(&s2n, own-toSamples)
+		if any != nil {
+			any.markDone(srcOrig, w.distOrig)
+			any.mu.RUnlock()
+			any.advance()
+		}
+	}
+	if any != nil && opts.Anytime {
+		any.assemble = func() *Result {
+			any.mu.Lock()
+			accC := append([]int64(nil), acc...)
+			exC := append([]int64(nil), exactFar...)
+			doneC := append([]bool(nil), any.doneSrc...)
+			any.mu.Unlock()
+			return assemblePartial(n, int(any.planned), accC, exC, doneC, any.landmarkRows())
+		}
+	}
+	// partialOr converts a canceled fan-out into the partial result when the
+	// run is anytime and at least one source completed.
+	partialOr := func(err error) (*Result, error) {
+		if any != nil && opts.Anytime && canceledErr(err) {
+			if pr := any.final(); pr != nil {
+				pr.Stats.Traverse = time.Since(start)
+				return pr, nil
+			}
+		}
+		return nil, err
 	}
 
 	if opts.Traversal.batched(k) {
@@ -167,7 +204,7 @@ func estimateGlobal(ctx context.Context, red *reduce.Reduction, opts *Options) (
 			}
 		})
 		if err != nil {
-			return nil, err
+			return partialOr(err)
 		}
 		err = par.ForDynamicCtx(ctx, len(extraOrig), workers, 1, func(worker, i int) {
 			w := &scratch[worker]
@@ -176,7 +213,7 @@ func estimateGlobal(ctx context.Context, red *reduce.Reduction, opts *Options) (
 			accumulateRow(w, src)
 		})
 		if err != nil {
-			return nil, err
+			return partialOr(err)
 		}
 	} else if opts.Traversal.Frontier(kEff, workers, nR) {
 		// Frontier-parallel engine: the transposed fan-out — sources run
@@ -191,7 +228,7 @@ func estimateGlobal(ctx context.Context, red *reduce.Reduction, opts *Options) (
 			if i < k {
 				srcR := samplesReduced[i]
 				if err := bfs.WFrontierDistancesCtx(ctx, tg, unweighted, permOf(srcR), w.s.Dist, workers, fs); err != nil {
-					return nil, err
+					return partialOr(err)
 				}
 				red.ScatterPerm(w.s.Dist, perm, w.distOrig)
 				red.Extend(w.distOrig)
@@ -201,7 +238,7 @@ func estimateGlobal(ctx context.Context, red *reduce.Reduction, opts *Options) (
 			// Augmentation source: frontier BFS on the original graph.
 			src := extraOrig[i-k]
 			if err := bfs.FrontierDistancesCtx(ctx, red.Orig, src, w.distOrig, workers, fs); err != nil {
-				return nil, err
+				return partialOr(err)
 			}
 			accumulateRow(w, src)
 		}
@@ -229,13 +266,13 @@ func estimateGlobal(ctx context.Context, red *reduce.Reduction, opts *Options) (
 			accumulateRow(w, src)
 		})
 		if err != nil {
-			return nil, err
+			return partialOr(err)
 		}
 	}
 	res.Stats.Traverse = time.Since(start)
 
 	if err := fault.Checkpoint(ctx, "core.aggregate"); err != nil {
-		return nil, err
+		return partialOr(err)
 	}
 	aggStart := time.Now()
 	for _, sR := range samplesReduced {

@@ -70,6 +70,21 @@ func RandomSamplingMode(g *graph.Graph, fraction float64, workers int, seed int6
 // (see BatchingMode), which changes only the wall-clock, never the sample
 // set or the farness output.
 func RandomSamplingModeContext(ctx context.Context, g *graph.Graph, fraction float64, workers int, seed int64, mode TraversalMode, batching BatchingMode) (*Result, error) {
+	return randomSampling(ctx, g, fraction, workers, seed, mode, batching, false, nil)
+}
+
+// RandomSamplingAnytimeContext is RandomSamplingModeContext as an anytime
+// computation: on ctx cancellation/deadline it returns a Partial result built
+// from the completed sources (exact farness for them, clamped extrapolations
+// plus proven [Low, High] bounds for the rest) instead of nil + ErrCanceled,
+// and publishes periodic snapshots into prog (which may be nil). A run whose
+// context never fires produces farness bit-identical to
+// RandomSamplingModeContext.
+func RandomSamplingAnytimeContext(ctx context.Context, g *graph.Graph, fraction float64, workers int, seed int64, mode TraversalMode, batching BatchingMode, prog *Progress) (*Result, error) {
+	return randomSampling(ctx, g, fraction, workers, seed, mode, batching, true, prog)
+}
+
+func randomSampling(ctx context.Context, g *graph.Graph, fraction float64, workers int, seed int64, mode TraversalMode, batching BatchingMode, anytime bool, prog *Progress) (*Result, error) {
 	n := g.NumNodes()
 	res := &Result{
 		Farness: make([]float64, n),
@@ -97,7 +112,67 @@ func RandomSamplingModeContext(ctx context.Context, g *graph.Graph, fraction flo
 	acc := make([]int64, n)
 	exactFar := make([]int64, n)
 	done := ctx.Done()
-	if mode.batched(k) {
+	var any *anyState
+	if anytime || prog != nil {
+		any = newAnyState(n, k, prog)
+	}
+	// accumulateAny is the anytime row consumer shared by every engine path:
+	// whole-row accumulation under the read lock keeps snapshots consistent.
+	accumulateAny := func(src graph.NodeID, dist []int32) {
+		any.mu.RLock()
+		var own int64
+		for w, d := range dist {
+			own += int64(d)
+			atomic.AddInt64(&acc[w], int64(d))
+		}
+		atomic.StoreInt64(&exactFar[src], own)
+		any.markDone(src, dist)
+		any.mu.RUnlock()
+		any.advance()
+	}
+	if any != nil && anytime {
+		any.assemble = func() *Result {
+			any.mu.Lock()
+			accC := append([]int64(nil), acc...)
+			exC := append([]int64(nil), exactFar...)
+			doneC := append([]bool(nil), any.doneSrc...)
+			any.mu.Unlock()
+			return assemblePartial(n, k, accC, exC, doneC, any.landmarkRows())
+		}
+	}
+	partialOr := func(err error) (*Result, error) {
+		if any != nil && anytime && canceledErr(err) {
+			if pr := any.final(); pr != nil {
+				pr.Stats.Traverse = time.Since(start)
+				return pr, nil
+			}
+		}
+		return nil, err
+	}
+	if mode.batched(k) && any != nil {
+		// Anytime batched path: the mask-granularity engine streams visits
+		// mid-sweep, which would leave torn rows in the accumulators on a
+		// cancellation. Consume whole rows instead — the same integers reach
+		// acc, so a full run stays bit-identical to the mask path; only the
+		// wall-clock differs.
+		sources := samples
+		if batching.clustered(k) {
+			pos := graph.Order(g, graph.RelabelBFS, workers).Perm
+			ord := clusterOrder(samples, pos)
+			sources = make([]graph.NodeID, k)
+			for i, j := range ord {
+				sources[i] = samples[j]
+			}
+		}
+		err := bfs.RunBatchesCtx(ctx, g, sources, workers, func(_, base int, batch []graph.NodeID, rows [][]int32) {
+			for lane, src := range batch {
+				accumulateAny(src, rows[lane])
+			}
+		})
+		if err != nil {
+			return partialOr(err)
+		}
+	} else if mode.batched(k) {
 		// The batched engine consumes the visit stream at mask granularity:
 		// one d·popcount add per (node, arriving lane set) instead of one add
 		// per lane. When clustering merges the lane frontiers the common case
@@ -135,7 +210,11 @@ func RandomSamplingModeContext(ctx context.Context, g *graph.Graph, fraction flo
 		dist := make([]int32, n)
 		for _, src := range samples {
 			if err := bfs.FrontierDistancesCtx(ctx, g, src, dist, workers, fs); err != nil {
-				return nil, err
+				return partialOr(err)
+			}
+			if any != nil {
+				accumulateAny(src, dist)
+				continue
 			}
 			var own int64
 			for w, d := range dist {
@@ -146,6 +225,10 @@ func RandomSamplingModeContext(ctx context.Context, g *graph.Graph, fraction flo
 		}
 	} else {
 		accumulateRow := func(src graph.NodeID, dist []int32) {
+			if any != nil {
+				accumulateAny(src, dist)
+				return
+			}
 			var own int64
 			for w, d := range dist {
 				own += int64(d)
@@ -178,12 +261,12 @@ func RandomSamplingModeContext(ctx context.Context, g *graph.Graph, fraction flo
 				_ = bfs.DistancesCtx(ctx, g, src, s.dist, s.q)
 			}
 			if par.Interrupted(done) {
-				return // partial row; the whole run is about to error out
+				return // partial row; an anytime run keeps only whole rows
 			}
 			accumulateRow(src, s.dist)
 		})
 		if err != nil {
-			return nil, err
+			return partialOr(err)
 		}
 	}
 	res.Stats.Traverse = time.Since(start)

@@ -26,10 +26,15 @@ import (
 // aborts the run with that error; panicking exercises the crash paths.
 type Hook func(ctx context.Context) error
 
+// entry wraps a hook so each Set installation has a unique identity: the
+// returned restore only undoes its own installation, and becomes a no-op if
+// the point was meanwhile replaced or swept by Clear.
+type entry struct{ h Hook }
+
 var (
 	armed atomic.Int64 // number of installed hooks; 0 = fast path
 	mu    sync.RWMutex
-	hooks map[string]Hook
+	hooks map[string]*entry
 )
 
 // Set installs a hook at the named point, replacing any previous one, and
@@ -39,16 +44,20 @@ func Set(point string, h Hook) (restore func()) {
 	mu.Lock()
 	defer mu.Unlock()
 	if hooks == nil {
-		hooks = make(map[string]Hook)
+		hooks = make(map[string]*entry)
 	}
 	prev, had := hooks[point]
 	if !had {
 		armed.Add(1)
 	}
-	hooks[point] = h
+	e := &entry{h}
+	hooks[point] = e
 	return func() {
 		mu.Lock()
 		defer mu.Unlock()
+		if hooks[point] != e {
+			return // replaced or Cleared since; nothing of ours to undo
+		}
 		if had {
 			hooks[point] = prev
 			return
@@ -73,12 +82,12 @@ func Inject(ctx context.Context, point string) error {
 		return nil
 	}
 	mu.RLock()
-	h := hooks[point]
+	e := hooks[point]
 	mu.RUnlock()
-	if h == nil {
+	if e == nil || e.h == nil {
 		return nil
 	}
-	return h(ctx)
+	return e.h(ctx)
 }
 
 // Checkpoint is the stack's cooperative cancellation checkpoint: it fires

@@ -65,6 +65,33 @@ func TestClear(t *testing.T) {
 	}
 }
 
+// TestRestoreAfterClearIsNoop: a deferred restore whose installation was
+// meanwhile swept by Clear (or replaced by a later Set) must do nothing —
+// the old implementation panicked writing to the nilled map, taking down
+// whole chaos tests in their cleanup stack.
+func TestRestoreAfterClearIsNoop(t *testing.T) {
+	restore := Set("p", Panic("stale"))
+	Clear()
+	restore() // must not panic, must not resurrect anything
+	if armed.Load() != 0 {
+		t.Fatalf("armed count after restore-post-Clear: %d", armed.Load())
+	}
+	if err := Inject(context.Background(), "p"); err != nil {
+		t.Fatalf("stale restore resurrected a hook: %v", err)
+	}
+	// Replacement case: the first restore is stale once a second Set owns
+	// the point, so it must leave the second hook in place.
+	r1 := Set("p", Panic("first"))
+	errSecond := errors.New("second")
+	r2 := Set("p", func(context.Context) error { return errSecond })
+	r1()
+	if err := Inject(context.Background(), "p"); err != errSecond {
+		t.Fatalf("stale restore disturbed the live hook: %v", err)
+	}
+	r2()
+	Clear()
+}
+
 func TestCheckpointReportsCancellation(t *testing.T) {
 	if err := Checkpoint(context.Background(), "p"); err != nil {
 		t.Fatalf("live ctx: %v", err)
@@ -77,7 +104,7 @@ func TestCheckpointReportsCancellation(t *testing.T) {
 }
 
 func TestDelayInterruptible(t *testing.T) {
-	restore := Set("slow", Delay(5 * time.Second))
+	restore := Set("slow", Delay(5*time.Second))
 	defer restore()
 	ctx, cancel := context.WithCancel(context.Background())
 	start := time.Now()

@@ -1,0 +1,148 @@
+package fault
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Rule is one declarative fault of a chaos Plan: at checkpoint Point, after
+// skipping the first After hits, fire with probability Prob (1 when zero) at
+// most Count times (unbounded when zero). What "fire" means is the union of
+// the action fields — sleep Delay, run Cancel, return Err, panic with Panic —
+// applied in that order, so a rule can both stall a stage and then kill it.
+type Rule struct {
+	// Point names the checkpoint this rule arms (see the package comment for
+	// the registry of points across the stack).
+	Point string
+	// After skips this many hits of the checkpoint before the rule becomes
+	// eligible — "fail the third traversal", not just "fail a traversal".
+	After int
+	// Count caps how many times the rule fires; 0 means every eligible hit.
+	Count int
+	// Prob fires the rule on each eligible hit with this probability, drawn
+	// from the plan's seeded generator; 0 means always (deterministic rules
+	// shouldn't have to say Prob: 1).
+	Prob float64
+	// Delay stalls the checkpoint, waking early if the run's context dies.
+	Delay time.Duration
+	// Cancel runs when the rule fires — typically a context.CancelFunc,
+	// simulating a client abandoning the run at exactly this stage.
+	Cancel func()
+	// Err aborts the stage with this error.
+	Err error
+	// Panic, when non-empty, crashes the stage (after the other actions),
+	// exercising recovery paths.
+	Panic string
+}
+
+// Plan is a seeded, declarative fault schedule: a set of Rules armed
+// together, sharing one deterministic random source, with per-rule hit and
+// fire accounting. The same Plan (same Seed, same Rules, same execution
+// interleaving of hits per point) fires the same faults, which is what makes
+// a chaos scenario replayable.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	hits  []int
+	fired []int
+}
+
+// Install arms every rule and returns a restore function detaching them;
+// tests defer the restore. Rules for the same point are evaluated in order
+// on each hit, all eligible ones fire, and the first non-nil error (or
+// panic) wins.
+func (p *Plan) Install() (restore func()) {
+	p.mu.Lock()
+	p.rng = rand.New(rand.NewSource(p.Seed))
+	p.hits = make([]int, len(p.Rules))
+	p.fired = make([]int, len(p.Rules))
+	p.mu.Unlock()
+
+	byPoint := make(map[string][]int)
+	for i, r := range p.Rules {
+		byPoint[r.Point] = append(byPoint[r.Point], i)
+	}
+	restores := make([]func(), 0, len(byPoint))
+	for point, idxs := range byPoint {
+		idxs := idxs
+		restores = append(restores, Set(point, func(ctx context.Context) error {
+			return p.hit(ctx, idxs)
+		}))
+	}
+	return func() {
+		for _, r := range restores {
+			r()
+		}
+	}
+}
+
+// hit evaluates the point's rules for one checkpoint execution. Accounting
+// runs under the plan mutex (checkpoints race across workers); the actions
+// themselves run outside it so a Delay doesn't serialise the fan-out.
+func (p *Plan) hit(ctx context.Context, idxs []int) error {
+	var firing []int
+	p.mu.Lock()
+	for _, i := range idxs {
+		r := &p.Rules[i]
+		h := p.hits[i]
+		p.hits[i]++
+		if h < r.After {
+			continue
+		}
+		if r.Count > 0 && p.fired[i] >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && p.rng.Float64() >= r.Prob {
+			continue
+		}
+		p.fired[i]++
+		firing = append(firing, i)
+	}
+	p.mu.Unlock()
+
+	var firstErr error
+	for _, i := range firing {
+		r := &p.Rules[i]
+		if r.Delay > 0 {
+			if err := Sleep(ctx, r.Delay); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if r.Cancel != nil {
+			r.Cancel()
+		}
+		if r.Err != nil && firstErr == nil {
+			firstErr = r.Err
+		}
+		if r.Panic != "" {
+			panic("fault: " + r.Panic)
+		}
+	}
+	return firstErr
+}
+
+// Fired reports how many times rule i has fired so far.
+func (p *Plan) Fired(i int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fired == nil || i < 0 || i >= len(p.fired) {
+		return 0
+	}
+	return p.fired[i]
+}
+
+// Hits reports how many times rule i's checkpoint has been hit so far
+// (whether or not the rule fired).
+func (p *Plan) Hits(i int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.hits == nil || i < 0 || i >= len(p.hits) {
+		return 0
+	}
+	return p.hits[i]
+}

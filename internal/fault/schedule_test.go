@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPlanAfterAndCount(t *testing.T) {
+	errBoom := errors.New("boom")
+	p := &Plan{Seed: 1, Rules: []Rule{
+		{Point: "x", After: 2, Count: 3, Err: errBoom},
+	}}
+	restore := p.Install()
+	defer restore()
+	ctx := context.Background()
+	var fired int
+	for i := 0; i < 10; i++ {
+		if err := Inject(ctx, "x"); err != nil {
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("hit %d: %v", i, err)
+			}
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3 (After=2, Count=3)", fired)
+	}
+	if p.Fired(0) != 3 || p.Hits(0) != 10 {
+		t.Fatalf("accounting: fired=%d hits=%d", p.Fired(0), p.Hits(0))
+	}
+}
+
+func TestPlanProbSeededDeterministic(t *testing.T) {
+	run := func() []bool {
+		p := &Plan{Seed: 42, Rules: []Rule{{Point: "y", Prob: 0.5, Err: errors.New("e")}}}
+		restore := p.Install()
+		defer restore()
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = Inject(context.Background(), "y") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	var any, all bool = false, true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded plan not replayable at hit %d", i)
+		}
+		any = any || a[i]
+		all = all && a[i]
+	}
+	if !any || all {
+		t.Fatalf("Prob=0.5 over 40 hits fired degenerately (any=%v all=%v)", any, all)
+	}
+}
+
+func TestPlanCancelAndDelay(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := &Plan{Seed: 7, Rules: []Rule{
+		{Point: "stage", Delay: 5 * time.Millisecond, Cancel: cancel, Count: 1},
+	}}
+	restore := p.Install()
+	defer restore()
+	start := time.Now()
+	if err := Inject(ctx, "stage"); err != nil {
+		t.Fatalf("delay alone should not error: %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("delay did not stall the checkpoint")
+	}
+	if ctx.Err() == nil {
+		t.Fatal("cancel action did not run")
+	}
+	// Count=1: a second hit is a no-op.
+	if err := Inject(ctx, "stage"); err != nil {
+		t.Fatalf("exhausted rule still firing: %v", err)
+	}
+	if p.Fired(0) != 1 {
+		t.Fatalf("fired %d, want 1", p.Fired(0))
+	}
+}
+
+func TestPlanPanicRule(t *testing.T) {
+	p := &Plan{Seed: 1, Rules: []Rule{{Point: "crash", Panic: "chaos"}}}
+	restore := p.Install()
+	defer restore()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic rule did not panic")
+		}
+	}()
+	_ = Inject(context.Background(), "crash")
+}
+
+func TestPlanConcurrentHits(t *testing.T) {
+	errBoom := errors.New("boom")
+	p := &Plan{Seed: 3, Rules: []Rule{{Point: "par", After: 50, Count: 10, Err: errBoom}}}
+	restore := p.Install()
+	defer restore()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if Inject(context.Background(), "par") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 10 {
+		t.Fatalf("fired %d, want exactly Count=10 under concurrency", fired)
+	}
+	if p.Hits(0) != 800 {
+		t.Fatalf("hits %d, want 800", p.Hits(0))
+	}
+}
+
+func TestPlanMultipleRulesSamePoint(t *testing.T) {
+	e1, e2 := errors.New("first"), errors.New("second")
+	p := &Plan{Seed: 1, Rules: []Rule{
+		{Point: "z", Count: 1, Err: e1},
+		{Point: "z", Err: e2},
+	}}
+	restore := p.Install()
+	defer restore()
+	if err := Inject(context.Background(), "z"); !errors.Is(err, e1) {
+		t.Fatalf("first hit: want first rule's error, got %v", err)
+	}
+	if err := Inject(context.Background(), "z"); !errors.Is(err, e2) {
+		t.Fatalf("second hit: want second rule's error, got %v", err)
+	}
+}

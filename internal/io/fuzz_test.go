@@ -37,6 +37,50 @@ func FuzzReadEdgeList(f *testing.F) {
 	})
 }
 
+// FuzzReadDIMACS: arbitrary input must never panic — malformed arc lines,
+// arcs before the problem line, overflow ids and truncated files must all
+// come back as errors.
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add("c comment\np sp 4 2\na 1 2 7\na 2 3 1\n")
+	f.Add("p sp 3 1\na 1 2")               // truncated final line, no newline
+	f.Add("a 1 2 3\n")                     // arc before problem line
+	f.Add("p sp 999999999999 1\na 1 2 3")  // node count overflows MaxNodeID
+	f.Add("p sp 3 1\na 99999999999 2 3\n") // arc id overflows int32
+	f.Add("p sp 3 1\na -1 2 3\n")          // negative id
+	f.Add("p tw 3 1\n")                    // wrong problem kind
+	f.Add("q nonsense\n")                  // unknown record type
+	f.Add("p sp 3 1\na 1\n")               // short arc line
+	f.Add("")                              // empty file
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadDIMACS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzReadEdgeListTruncated: every prefix of a valid file either parses to a
+// structurally valid graph or errors cleanly — a torn download must never
+// panic or produce a graph that fails validation.
+func FuzzReadEdgeListTruncated(f *testing.F) {
+	const whole = "# nodes 5 edges 4\n0 1\n1 2\n2 3\n3 4\n"
+	for cut := 0; cut <= len(whole); cut += 3 {
+		f.Add(whole[:cut])
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("truncated input accepted but invalid: %v", err)
+		}
+	})
+}
+
 // FuzzReadMatrixMarket: arbitrary input must never panic.
 func FuzzReadMatrixMarket(f *testing.F) {
 	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 2\n2 3\n")

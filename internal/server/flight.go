@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -17,11 +20,22 @@ import (
 // 429 + Retry-After.
 var errBusy = errors.New("server: estimation capacity saturated")
 
+// errPartialOnly is what a degrade=reject waiter gets when the run it joined
+// could only produce a partial result (another waiter's soft deadline, a
+// drain, or the shared flight being interrupted). Handlers map it to 503: the
+// caller asked for exact-or-nothing and got nothing.
+var errPartialOnly = errors.New("server: run degraded to a partial result (degrade=reject)")
+
 // panicError wraps a value recovered from a crashed estimation run so the
 // handler can answer 500 while the daemon keeps serving.
 type panicError struct{ val any }
 
 func (p *panicError) Error() string { return fmt.Sprintf("estimation run panicked: %v", p.val) }
+
+// degradeGrace is how long a degrading waiter lingers past its hard deadline
+// for the canceled run to assemble its final partial result — the assembly is
+// a copy plus O(n log n) bound math, not a traversal, so this stays small.
+const degradeGrace = 500 * time.Millisecond
 
 // generation is one immutable version of the served graph together with its
 // result cache and in-flight estimate runs. Readers load the current
@@ -30,7 +44,8 @@ func (p *panicError) Error() string { return fmt.Sprintf("estimation run panicke
 // which atomically invalidates the cache and detaches (but does not abort)
 // runs still computing against the old snapshot.
 type generation struct {
-	g *graph.Graph
+	g  *graph.Graph
+	id uint64 // monotone across mutations; reported by /v1/status
 
 	mu      sync.Mutex // guards cache and flights; held only for map ops
 	cache   map[string]*core.Result
@@ -40,9 +55,11 @@ type generation struct {
 	// the first sketch/auto distance (or sketch-filtered topk) request and
 	// shared by every subsequent one. Tied to the generation, it dies with
 	// the snapshot on the next edge mutation — the sketch can never answer
-	// against a stale graph.
-	sketchOnce sync.Once
-	sketch     *sketch.Sketch
+	// against a stale graph. Guarded by skMu rather than a sync.Once: a build
+	// that loses the race against a generation swap must not be stored (see
+	// Server.sketchFor), and a Once cannot express "ran, kept nothing".
+	skMu   sync.Mutex
+	sketch *sketch.Sketch
 
 	// distCache memoises /v1/distance answers per (pair, mode, tolerance).
 	// The mode is part of the key — a sketch upper bound must never be
@@ -71,21 +88,39 @@ type distVal struct {
 // entries); see generation.distCache.
 const distCacheCap = 1 << 16
 
-func newGeneration(g *graph.Graph) *generation {
+func newGeneration(g *graph.Graph, id uint64) *generation {
 	return &generation{
 		g:         g,
+		id:        id,
 		cache:     make(map[string]*core.Result),
 		flights:   make(map[string]*flight),
 		distCache: make(map[distKey]distVal),
 	}
 }
 
-// sketchFor returns the generation's sketch, building it on first use with
-// the server's configured options. Concurrent first callers block on the
-// build once; afterwards the sketch is read-only and lock-free.
-func (gen *generation) sketchFor(opts sketch.Options) *sketch.Sketch {
-	gen.sketchOnce.Do(func() { gen.sketch = sketch.Build(gen.g, opts) })
-	return gen.sketch
+// sketchFor returns gen's sketch, building it on first use. The build runs
+// outside the generation lock; when it completes against a generation that an
+// edge mutation has meanwhile replaced, the sketch is served to the caller
+// that asked but NOT stored — storing it would pin the dead snapshot's memory
+// for as long as the generation object lives, and no future request will ever
+// load that generation again anyway.
+func (s *Server) sketchFor(gen *generation) *sketch.Sketch {
+	gen.skMu.Lock()
+	if sk := gen.sketch; sk != nil {
+		gen.skMu.Unlock()
+		return sk
+	}
+	gen.skMu.Unlock()
+	sk := sketch.Build(gen.g, s.cfg.Sketch)
+	gen.skMu.Lock()
+	defer gen.skMu.Unlock()
+	if gen.sketch != nil {
+		return gen.sketch // a concurrent builder won; share its copy
+	}
+	if s.gen.Load() == gen {
+		gen.sketch = sk
+	}
+	return sk
 }
 
 // lookupDist returns a cached distance answer for key.
@@ -110,20 +145,30 @@ func (gen *generation) storeDist(key distKey, v distVal) {
 // with identical parameters (singleflight). The run's context derives from
 // the server's base context — not any single request's — and is canceled
 // when the last waiter walks away (client disconnects, deadlines expire) or
-// the server closes, so abandoned work stops burning CPU.
+// the server closes, so abandoned work stops burning CPU. Every flight runs
+// in anytime mode: prog carries live progress (surfaced by /v1/status and the
+// Retry-After hint) and periodic partial snapshots that degrading waiters can
+// take when their soft deadline lands.
 type flight struct {
 	done    chan struct{} // closed when res/err are set
 	res     *core.Result
 	err     error
 	waiters int // guarded by the generation's mu
 	cancel  context.CancelFunc
+	prog    *core.Progress
+	key     string
+	genID   uint64
+	started time.Time
 }
 
 // estimate returns the cached result for key, joins an identical in-flight
 // run, or starts one (subject to admission control). ctx is the request's
 // context: its cancellation abandons only this caller's wait, aborting the
-// compute itself only when no other request still wants the result.
-func (s *Server) estimate(ctx context.Context, key string, opts core.Options) (*core.Result, error) {
+// compute itself only when no other request still wants the result. degrade
+// selects the caller's deadline policy: an accepting waiter takes a partial
+// snapshot at its soft deadline instead of timing out, a rejecting waiter
+// insists on the exact result or an error.
+func (s *Server) estimate(ctx context.Context, key string, opts core.Options, degrade bool) (*core.Result, error) {
 	gen := s.gen.Load()
 	gen.mu.Lock()
 	if res, ok := gen.cache[key]; ok {
@@ -133,7 +178,7 @@ func (s *Server) estimate(ctx context.Context, key string, opts core.Options) (*
 	if f, ok := gen.flights[key]; ok {
 		f.waiters++
 		gen.mu.Unlock()
-		return s.wait(ctx, gen, key, f)
+		return s.wait(ctx, gen, key, f, degrade)
 	}
 	// Leader: take an estimation slot or shed the request.
 	select {
@@ -143,18 +188,28 @@ func (s *Server) estimate(ctx context.Context, key string, opts core.Options) (*
 		return nil, errBusy
 	}
 	fctx, fcancel := context.WithCancel(s.baseCtx)
-	f := &flight{done: make(chan struct{}), waiters: 1, cancel: fcancel}
+	f := &flight{
+		done: make(chan struct{}), waiters: 1, cancel: fcancel,
+		prog: &core.Progress{}, key: key, genID: gen.id, started: time.Now(),
+	}
+	opts.Anytime = true
+	opts.Progress = f.prog
 	gen.flights[key] = f
 	gen.mu.Unlock()
 
+	s.trackRun(f)
 	go s.run(fctx, gen, key, f, opts)
-	return s.wait(ctx, gen, key, f)
+	return s.wait(ctx, gen, key, f, degrade)
 }
 
 // run executes one estimation flight: panic-safe, cancellable, publishing
-// into the generation's cache on success. Always releases the admission slot.
+// into the generation's cache on success. A partial result (the run was
+// interrupted and degraded) is handed to its waiters but never cached — the
+// next identical request starts a fresh run. Always releases the admission
+// slot and retires the flight from the status registry.
 func (s *Server) run(fctx context.Context, gen *generation, key string, f *flight, opts core.Options) {
 	defer func() { <-s.sem }()
+	defer s.untrackRun(f)
 	defer f.cancel()
 	res, err := func() (res *core.Result, err error) {
 		defer func() {
@@ -172,24 +227,41 @@ func (s *Server) run(fctx context.Context, gen *generation, key string, f *fligh
 	if gen.flights[key] == f {
 		delete(gen.flights, key)
 	}
-	if err == nil {
+	if err == nil && res != nil && !res.Partial {
 		gen.cache[key] = res
+		s.recordRunDuration(time.Since(f.started))
 	}
 	gen.mu.Unlock()
 	close(f.done)
 }
 
-// wait blocks until the flight completes or the caller's context fires.
-// The last waiter to walk away aborts the flight's compute and retires it
-// from the dedup map, so a later identical request starts fresh.
-func (s *Server) wait(ctx context.Context, gen *generation, key string, f *flight) (*core.Result, error) {
-	select {
-	case <-f.done:
+// wait blocks until the flight completes or the caller's deadline policy
+// fires. The last waiter to walk away aborts the flight's compute and
+// retires it from the dedup map, so a later identical request starts fresh.
+//
+// Degraded-mode state machine (degrade=true):
+//
+//	waiting ──soft deadline, snapshot available──▶ serve snapshot (200 partial)
+//	waiting ──soft deadline, no snapshot yet─────▶ keep waiting to the hard deadline
+//	waiting ──hard deadline──▶ leave; if last waiter the cancel propagates and
+//	          the run's final partial is served after a short grace wait; else
+//	          the freshest snapshot; else 504
+//	waiting ──flight done────▶ exact result, or the run's own partial
+//
+// A degrade=false waiter skips the soft timer entirely and converts any
+// partial outcome into errPartialOnly (503).
+func (s *Server) wait(ctx context.Context, gen *generation, key string, f *flight, degrade bool) (*core.Result, error) {
+	finish := func() (*core.Result, error) {
 		gen.mu.Lock()
 		f.waiters--
 		gen.mu.Unlock()
+		if f.err == nil && f.res != nil && f.res.Partial && !degrade {
+			return nil, errPartialOnly
+		}
 		return f.res, f.err
-	case <-ctx.Done():
+	}
+	// leave retires this waiter; the last one out cancels the compute.
+	leave := func() bool {
 		gen.mu.Lock()
 		f.waiters--
 		abandoned := f.waiters == 0
@@ -200,6 +272,157 @@ func (s *Server) wait(ctx context.Context, gen *generation, key string, f *fligh
 		if abandoned {
 			f.cancel()
 		}
-		return nil, par.CtxErr(ctx)
+		return abandoned
 	}
+
+	var soft <-chan time.Time
+	if degrade {
+		if dl, ok := ctx.Deadline(); ok {
+			if d := time.Until(dl) - s.cfg.SoftMargin; d > 0 {
+				t := time.NewTimer(d)
+				defer t.Stop()
+				soft = t.C
+			}
+		}
+	}
+	select {
+	case <-f.done:
+		return finish()
+	case <-soft:
+		// Soft deadline: serve the freshest published snapshot, leaving the
+		// run to any remaining waiters (or cancellation if we were the last —
+		// the snapshot is already assembled and immutable either way).
+		if snap := f.prog.Snapshot(); snap != nil {
+			leave()
+			return snap, nil
+		}
+		// Nothing published yet; hold on until the run finishes or the hard
+		// deadline fires.
+		select {
+		case <-f.done:
+			return finish()
+		case <-ctx.Done():
+		}
+	case <-ctx.Done():
+	}
+	// Hard deadline (or client disconnect).
+	abandoned := leave()
+	if degrade {
+		if abandoned {
+			// Our cancel is propagating into the run; its final partial
+			// assembly is cheap, so linger briefly for a result strictly
+			// fresher than any snapshot.
+			t := time.NewTimer(degradeGrace)
+			defer t.Stop()
+			select {
+			case <-f.done:
+				if f.err == nil && f.res != nil && f.res.Partial {
+					return f.res, nil
+				}
+			case <-t.C:
+			}
+		}
+		if snap := f.prog.Snapshot(); snap != nil {
+			return snap, nil
+		}
+	}
+	return nil, par.CtxErr(ctx)
+}
+
+// trackRun registers a started flight in the status registry behind
+// /v1/status and the Retry-After hint.
+func (s *Server) trackRun(f *flight) {
+	s.runsMu.Lock()
+	s.runs[f] = struct{}{}
+	s.runsMu.Unlock()
+}
+
+func (s *Server) untrackRun(f *flight) {
+	s.runsMu.Lock()
+	delete(s.runs, f)
+	s.runsMu.Unlock()
+}
+
+// inflightRuns snapshots the live flights, most advanced first.
+func (s *Server) inflightRuns() []*flight {
+	s.runsMu.Lock()
+	out := make([]*flight, 0, len(s.runs))
+	for f := range s.runs {
+		out = append(out, f)
+	}
+	s.runsMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].prog.Fraction() > out[j].prog.Fraction() })
+	return out
+}
+
+// recordRunDuration feeds the completed-run duration ring behind the
+// Retry-After estimate. Only full (uninterrupted) runs are recorded: a
+// degraded run's elapsed time says nothing about how long the next full run
+// will take.
+func (s *Server) recordRunDuration(d time.Duration) {
+	s.durMu.Lock()
+	s.durs[s.durI%len(s.durs)] = d
+	s.durI++
+	s.durMu.Unlock()
+}
+
+// medianRunDuration returns the median of the recorded full-run durations,
+// or 0 when none have completed yet.
+func (s *Server) medianRunDuration() time.Duration {
+	s.durMu.Lock()
+	n := s.durI
+	if n > len(s.durs) {
+		n = len(s.durs)
+	}
+	tmp := make([]time.Duration, n)
+	copy(tmp, s.durs[:n])
+	s.durMu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	return tmp[n/2]
+}
+
+// retryAfterSeconds estimates how long a shed request should back off: the
+// soonest in-flight run to finish frees a slot, and its remaining time is the
+// median full-run duration scaled by its unfinished fraction. No history or
+// no progress data degrades to the 1-second floor; the hint is clamped to
+// [1, 30] so a stuck run cannot push clients away for minutes.
+func retryAfterSeconds(median time.Duration, progress []float64) int {
+	const floor, ceil = 1, 30
+	if median <= 0 || len(progress) == 0 {
+		return floor
+	}
+	best := math.Inf(1)
+	for _, p := range progress {
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		if rem := 1 - p; rem < best {
+			best = rem
+		}
+	}
+	secs := int(math.Ceil(best * median.Seconds()))
+	if secs < floor {
+		return floor
+	}
+	if secs > ceil {
+		return ceil
+	}
+	return secs
+}
+
+// retryAfter computes the live Retry-After hint from the duration history and
+// the in-flight runs' progress.
+func (s *Server) retryAfter() int {
+	runs := s.inflightRuns()
+	fracs := make([]float64, len(runs))
+	for i, f := range runs {
+		fracs[i] = f.prog.Fraction()
+	}
+	return retryAfterSeconds(s.medianRunDuration(), fracs)
 }

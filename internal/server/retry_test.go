@@ -1,0 +1,117 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		name     string
+		median   time.Duration
+		progress []float64
+		want     int
+	}{
+		{"no history", 0, []float64{0.5}, 1},
+		{"no inflight", 10 * time.Second, nil, 1},
+		{"half done of 10s", 10 * time.Second, []float64{0.5}, 5},
+		{"soonest wins", 10 * time.Second, []float64{0.1, 0.9}, 1},
+		{"barely started", 4 * time.Second, []float64{0.0}, 4},
+		{"almost done floors at 1", 10 * time.Second, []float64{0.999}, 1},
+		{"stuck run clamps at 30", 10 * time.Minute, []float64{0.1}, 30},
+		{"garbage fraction clamped", 10 * time.Second, []float64{-3, 7}, 1},
+		{"ceil partial seconds", 3 * time.Second, []float64{0.5}, 2},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.median, c.progress); got != c.want {
+			t.Errorf("%s: retryAfterSeconds(%v, %v) = %d, want %d", c.name, c.median, c.progress, got, c.want)
+		}
+	}
+}
+
+func TestMedianRunDuration(t *testing.T) {
+	s := newRobustServer(t, Config{Workers: 1})
+	if got := s.medianRunDuration(); got != 0 {
+		t.Fatalf("empty ring median = %v, want 0", got)
+	}
+	for _, d := range []time.Duration{time.Second, 3 * time.Second, 2 * time.Second} {
+		s.recordRunDuration(d)
+	}
+	if got := s.medianRunDuration(); got != 2*time.Second {
+		t.Fatalf("median of 1s/3s/2s = %v, want 2s", got)
+	}
+	// Overflow the ring with a uniform value: the old samples must age out.
+	for i := 0; i < len(s.durs); i++ {
+		s.recordRunDuration(5 * time.Second)
+	}
+	if got := s.medianRunDuration(); got != 5*time.Second {
+		t.Fatalf("median after ring wrap = %v, want 5s", got)
+	}
+}
+
+// TestShedRetryAfterReflectsProgress: a 429 response's Retry-After header is
+// derived from the run-time history and the in-flight run's live progress,
+// not a constant.
+func TestShedRetryAfterReflectsProgress(t *testing.T) {
+	s := newRobustServer(t, Config{Workers: 1, MaxInflight: 1})
+	// Seed the duration history: median 8s.
+	for _, d := range []time.Duration{8 * time.Second, 8 * time.Second, 8 * time.Second} {
+		s.recordRunDuration(d)
+	}
+	// Occupy the only slot with a run held open at its first checkpoint.
+	entered := make(chan struct{})
+	var once sync.Once
+	restore := fault.Set("server.estimate", func(ctx context.Context) error {
+		once.Do(func() { close(entered) })
+		return fault.Sleep(ctx, 5*time.Second)
+	})
+	defer restore()
+	go func() {
+		_ = doJSON(s, http.MethodPost, "/v1/estimate?timeout=5s", `{"seed":900}`)
+	}()
+	<-entered
+	// The held run has made no progress: remaining ≈ 1.0 × 8s.
+	w := doJSON(s, http.MethodPost, "/v1/estimate", `{"seed":901}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %s", w.Code, w.Body)
+	}
+	ra, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer", w.Header().Get("Retry-After"))
+	}
+	if ra < 7 || ra > 9 {
+		t.Fatalf("Retry-After = %d, want ≈8 (median 8s, zero progress)", ra)
+	}
+	if !strings.Contains(w.Body.String(), "capacity") {
+		t.Fatalf("unexpected 429 body: %s", w.Body)
+	}
+}
+
+// TestShedRetryAfterWithoutHistory: before any run has completed the hint
+// degrades to the 1-second floor.
+func TestShedRetryAfterWithoutHistory(t *testing.T) {
+	s := newRobustServer(t, Config{Workers: 1, MaxInflight: 1})
+	entered := make(chan struct{})
+	var once sync.Once
+	restore := fault.Set("server.estimate", func(ctx context.Context) error {
+		once.Do(func() { close(entered) })
+		return fault.Sleep(ctx, 5*time.Second)
+	})
+	defer restore()
+	go func() { _ = doJSON(s, http.MethodPost, "/v1/estimate?timeout=5s", `{"seed":910}`) }()
+	<-entered
+	w := doJSON(s, http.MethodPost, "/v1/estimate", `{"seed":911}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\" with no history", got)
+	}
+}

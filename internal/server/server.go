@@ -64,6 +64,18 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps any client-requested deadline. Default 5m.
 	MaxTimeout time.Duration
+	// SoftMargin is how far ahead of a request's hard deadline its soft
+	// deadline sits: a degrading (?degrade=accept) estimation request that is
+	// still waiting when the soft deadline lands answers with the run's
+	// freshest partial snapshot instead of riding into a timeout. Default
+	// 500ms, clamped to at most half the request's deadline.
+	SoftMargin time.Duration
+	// DegradeByDefault selects the policy of estimation requests that carry
+	// no ?degrade= parameter: true behaves like degrade=accept (never time
+	// out with an empty answer when a partial one exists), false like
+	// degrade=reject (exact or error — the historical behaviour, and the
+	// default).
+	DegradeByDefault bool
 	// Sketch configures the per-generation cluster-BFS distance index behind
 	// /v1/distance?mode=sketch|auto and /v1/topk?sketch=1. The zero value
 	// selects the sketch package defaults; Workers is inherited from the
@@ -80,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.SoftMargin <= 0 {
+		c.SoftMargin = 500 * time.Millisecond
 	}
 	if c.Sketch.Workers == 0 {
 		c.Sketch.Workers = c.Workers
@@ -100,6 +115,19 @@ type Server struct {
 	baseCancel context.CancelFunc
 	ready      atomic.Bool
 	mux        *http.ServeMux
+
+	genSeq atomic.Uint64 // generation id source; bumped per edge mutation
+
+	// runs is the status registry: every live estimation flight, across all
+	// generations, for /v1/status and the progress-based Retry-After hint.
+	runsMu sync.Mutex
+	runs   map[*flight]struct{}
+
+	// durs is a ring of recent full-run durations; its median anchors the
+	// Retry-After estimate.
+	durMu sync.Mutex
+	durs  [32]time.Duration
+	durI  int
 }
 
 // New builds a server over a connected graph with default admission and
@@ -123,11 +151,14 @@ func NewWithConfig(g *graph.Graph, cfg Config) (*Server, error) {
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 		mux:        http.NewServeMux(),
+		runs:       make(map[*flight]struct{}),
 	}
-	s.gen.Store(newGeneration(ix.Snapshot()))
+	s.genSeq.Store(1)
+	s.gen.Store(newGeneration(ix.Snapshot(), 1))
 	s.ready.Store(true)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
+	s.mux.HandleFunc("/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/v1/graph", s.handleGraph)
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/v1/farness/", s.handleFarness)
@@ -184,22 +215,46 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 
 // writeEstimateErr maps an estimation failure onto its HTTP status:
 // capacity 429 (+Retry-After), crash 500, caller deadline 504,
-// canceled/draining 503, anything else (validation) 400.
-func writeEstimateErr(w http.ResponseWriter, err error) {
+// partial-rejected and canceled/draining 503 (+Retry-After), anything else
+// (validation) 400. The Retry-After hint is computed live from the median
+// observed run time and the in-flight runs' progress, not a constant.
+func (s *Server) writeEstimateErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	var pe *panicError
 	switch {
 	case errors.Is(err, errBusy):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		status = http.StatusTooManyRequests
 	case errors.As(err, &pe):
 		status = http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
+	case errors.Is(err, errPartialOnly):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, core.ErrCanceled), errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		status = http.StatusServiceUnavailable
 	}
 	writeErr(w, status, "%v", err)
+}
+
+// degradeOf parses the ?degrade= policy parameter shared by the estimation
+// endpoints, falling back to the configured default when absent.
+func (s *Server) degradeOf(q map[string][]string) (bool, error) {
+	v := ""
+	if vs, ok := q["degrade"]; ok && len(vs) > 0 {
+		v = vs[0]
+	}
+	switch v {
+	case "":
+		return s.cfg.DegradeByDefault, nil
+	case "accept":
+		return true, nil
+	case "reject":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad degrade %q (want accept or reject)", v)
 }
 
 // requestCtx derives the estimation context for one request: the client's
@@ -231,6 +286,64 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// runStatus describes one in-flight estimation run for /v1/status.
+type runStatus struct {
+	Key           string  `json:"key"`
+	Generation    uint64  `json:"generation"`
+	Completed     int64   `json:"completed"`
+	Planned       int64   `json:"planned"`
+	Progress      float64 `json:"progress"`
+	ElapsedMillis int64   `json:"elapsedMillis"`
+}
+
+type statusBody struct {
+	Ready           bool        `json:"ready"`
+	Generation      uint64      `json:"generation"`
+	Nodes           int         `json:"nodes"`
+	Edges           int         `json:"edges"`
+	Inflight        []runStatus `json:"inflight"`
+	CacheEntries    int         `json:"cacheEntries"`
+	MedianRunMillis int64       `json:"medianRunMillis"`
+	RetryAfter      int         `json:"retryAfter"`
+}
+
+// handleStatus reports the server's live state: current generation id, graph
+// size, every in-flight estimation run with its progress fraction, the cache
+// population, and the Retry-After hint a shed request would receive now.
+// Like /healthz it never blocks behind an estimation.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	gen := s.gen.Load()
+	gen.mu.Lock()
+	cached := len(gen.cache)
+	gen.mu.Unlock()
+	body := statusBody{
+		Ready:           s.ready.Load(),
+		Generation:      gen.id,
+		Nodes:           gen.g.NumNodes(),
+		Edges:           gen.g.NumEdges(),
+		Inflight:        []runStatus{},
+		CacheEntries:    cached,
+		MedianRunMillis: s.medianRunDuration().Milliseconds(),
+		RetryAfter:      s.retryAfter(),
+	}
+	now := time.Now()
+	for _, f := range s.inflightRuns() {
+		body.Inflight = append(body.Inflight, runStatus{
+			Key:           f.key,
+			Generation:    f.genID,
+			Completed:     f.prog.Completed(),
+			Planned:       f.prog.Planned(),
+			Progress:      f.prog.Fraction(),
+			ElapsedMillis: now.Sub(f.started).Milliseconds(),
+		})
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 type graphBody struct {
@@ -338,6 +451,54 @@ type estimateBody struct {
 	Blocks      int     `json:"blocks"`
 	ExactCount  int     `json:"exactCount"`
 	MeanFarness float64 `json:"meanFarness"`
+	// Partial marks a degraded (anytime) answer: the run was cut short and
+	// the values are estimates from Completed of Planned samples, with the
+	// proven mean bounds below. Partial answers are never cached server-side.
+	Partial   bool    `json:"partial,omitempty"`
+	Completed int     `json:"completed,omitempty"`
+	Planned   int     `json:"planned,omitempty"`
+	Progress  float64 `json:"progress,omitempty"`
+	MeanLow   float64 `json:"meanLow,omitempty"`
+	MeanHigh  float64 `json:"meanHigh,omitempty"`
+}
+
+func estimateBodyOf(res *core.Result) estimateBody {
+	exact := 0
+	var mean float64
+	for i, f := range res.Farness {
+		if res.Exact[i] {
+			exact++
+		}
+		mean += f
+	}
+	if len(res.Farness) > 0 {
+		mean /= float64(len(res.Farness))
+	}
+	body := estimateBody{
+		Nodes:       len(res.Farness),
+		Samples:     res.Stats.Samples,
+		ReducedTo:   res.Stats.ReducedNodes,
+		Blocks:      res.Stats.Blocks.Count,
+		ExactCount:  exact,
+		MeanFarness: mean,
+	}
+	if res.Partial {
+		body.Partial = true
+		body.Completed = res.Completed
+		body.Planned = res.Planned
+		if res.Planned > 0 {
+			body.Progress = float64(res.Completed) / float64(res.Planned)
+		}
+		var lo, hi float64
+		for i := range res.Low {
+			lo += res.Low[i]
+			hi += res.High[i]
+		}
+		if n := len(res.Low); n > 0 {
+			body.MeanLow, body.MeanHigh = lo/float64(n), hi/float64(n)
+		}
+	}
+	return body
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -355,36 +516,23 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	degrade, err := s.degradeOf(r.URL.Query())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	defer cancel()
-	res, err := s.estimate(ctx, key, opts)
+	res, err := s.estimate(ctx, key, opts, degrade)
 	if err != nil {
-		writeEstimateErr(w, err)
+		s.writeEstimateErr(w, err)
 		return
 	}
-	exact := 0
-	var mean float64
-	for i, f := range res.Farness {
-		if res.Exact[i] {
-			exact++
-		}
-		mean += f
-	}
-	if len(res.Farness) > 0 {
-		mean /= float64(len(res.Farness))
-	}
-	writeJSON(w, http.StatusOK, estimateBody{
-		Nodes:       len(res.Farness),
-		Samples:     res.Stats.Samples,
-		ReducedTo:   res.Stats.ReducedNodes,
-		Blocks:      res.Stats.Blocks.Count,
-		ExactCount:  exact,
-		MeanFarness: mean,
-	})
+	writeJSON(w, http.StatusOK, estimateBodyOf(res))
 }
 
 type farnessBody struct {
@@ -392,6 +540,12 @@ type farnessBody struct {
 	Farness   float64      `json:"farness"`
 	Closeness float64      `json:"closeness"`
 	Exact     bool         `json:"exact"`
+	// Partial marks a degraded answer; Low/High are then the node's proven
+	// farness bounds and Progress the run's completed fraction.
+	Partial  bool     `json:"partial,omitempty"`
+	Low      *float64 `json:"low,omitempty"`
+	High     *float64 `json:"high,omitempty"`
+	Progress float64  `json:"progress,omitempty"`
 }
 
 func (s *Server) handleFarness(w http.ResponseWriter, r *http.Request) {
@@ -415,15 +569,20 @@ func (s *Server) handleFarness(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	degrade, err := s.degradeOf(r.URL.Query())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	defer cancel()
-	res, err := s.estimate(ctx, key, opts)
+	res, err := s.estimate(ctx, key, opts, degrade)
 	if err != nil {
-		writeEstimateErr(w, err)
+		s.writeEstimateErr(w, err)
 		return
 	}
 	if id < 0 || int(id) >= len(res.Farness) {
@@ -435,6 +594,16 @@ func (s *Server) handleFarness(w http.ResponseWriter, r *http.Request) {
 	if f > 0 {
 		body.Closeness = 1 / f
 	}
+	if res.Partial {
+		body.Partial = true
+		if len(res.Low) == len(res.Farness) {
+			lo, hi := res.Low[id], res.High[id]
+			body.Low, body.High = &lo, &hi
+		}
+		if res.Planned > 0 {
+			body.Progress = float64(res.Completed) / float64(res.Planned)
+		}
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -444,6 +613,9 @@ type topkBody struct {
 	Verified int            `json:"verified"`
 	Filtered int            `json:"filtered"`
 	Certain  bool           `json:"certain"`
+	// Partial marks a degraded ranking: verification was cut short at the
+	// soft deadline and unverified slots hold estimates. Never cached.
+	Partial bool `json:"partial,omitempty"`
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -471,19 +643,38 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	degrade, err := s.degradeOf(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	defer cancel()
+	// A degrading top-k run races its soft deadline, not the hard one: the
+	// anytime search then degrades to the best-so-far ranking with time to
+	// spare for the response, instead of dying at the hard deadline empty.
+	runCtx := ctx
+	if degrade {
+		opts.Anytime = true
+		if dl, ok := ctx.Deadline(); ok {
+			if soft := time.Until(dl) - s.cfg.SoftMargin; soft > 0 {
+				var softCancel context.CancelFunc
+				runCtx, softCancel = context.WithTimeout(ctx, soft)
+				defer softCancel()
+			}
+		}
+	}
 	// Top-k runs bypass the estimate cache but still count against the
 	// admission bound: take a slot or shed the request.
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	default:
-		writeEstimateErr(w, errBusy)
+		s.writeEstimateErr(w, errBusy)
 		return
 	}
 	gen := s.gen.Load()
@@ -497,17 +688,18 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if use {
-			topts.Sketch = gen.sketchFor(s.cfg.Sketch)
+			topts.Sketch = s.sketchFor(gen)
 		}
 	}
-	res, err := topk.ClosenessContext(ctx, gen.g, k, topts)
+	res, err := topk.ClosenessContext(runCtx, gen.g, k, topts)
 	if err != nil {
-		writeEstimateErr(w, err)
+		s.writeEstimateErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, topkBody{
 		Nodes: res.Nodes, Farness: res.Farness,
 		Verified: res.Verified, Filtered: res.Filtered, Certain: res.Certain,
+		Partial: res.Partial,
 	})
 }
 
@@ -522,19 +714,23 @@ type edgeResult struct {
 }
 
 // mutate applies one edge update under the mutation lock and, on success,
-// installs a fresh generation: new snapshot, empty cache, no flights. Runs
-// still computing against the old generation finish (and cache) there
-// harmlessly — new requests only ever see the new generation.
+// installs a fresh generation: new snapshot, empty cache, no flights, next
+// id. Runs still computing against the old generation finish (and cache)
+// there harmlessly — new requests only ever see the new generation. The
+// fault checkpoint lets the chaos suite stall or crash a mutation mid-swap.
 func (s *Server) mutate(apply func() error) (affected, edges int, err error) {
 	s.ixMu.Lock()
 	defer s.ixMu.Unlock()
+	if err := fault.Inject(context.Background(), "server.mutate"); err != nil {
+		return 0, s.gen.Load().g.NumEdges(), err
+	}
 	err = apply()
 	affected = s.ix.UpdatedLast
 	if err != nil {
 		return affected, s.gen.Load().g.NumEdges(), err
 	}
 	g := s.ix.Snapshot()
-	s.gen.Store(newGeneration(g))
+	s.gen.Store(newGeneration(g, s.genSeq.Add(1)))
 	return affected, g.NumEdges(), nil
 }
 
@@ -679,26 +875,26 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	var val distVal
 	switch mode {
 	case distSketch:
-		if lo, hi, ok := gen.sketchFor(s.cfg.Sketch).Bounds(u, v); ok {
+		if lo, hi, ok := s.sketchFor(gen).Bounds(u, v); ok {
 			val = distVal{d: hi, lo: lo, hi: hi, method: "sketch"}
 		} else {
 			// The sketch cannot bound the pair (different components):
 			// answer exactly rather than failing the request.
 			d, err := bfs.PointToPointCtx(ctx, g, u, v)
 			if err != nil {
-				writeEstimateErr(w, err)
+				s.writeEstimateErr(w, err)
 				return
 			}
 			val = distVal{d: d, method: "exact"}
 		}
 	case distAuto:
-		sk := gen.sketchFor(s.cfg.Sketch)
+		sk := s.sketchFor(gen)
 		if lo, hi, ok := sk.Bounds(u, v); ok && hi-lo <= tol {
 			val = distVal{d: hi, lo: lo, hi: hi, method: "sketch"}
 		} else {
 			d, err := bfs.PointToPointCtx(ctx, g, u, v)
 			if err != nil {
-				writeEstimateErr(w, err)
+				s.writeEstimateErr(w, err)
 				return
 			}
 			val = distVal{d: d, method: "exact"}
@@ -706,7 +902,7 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	default:
 		d, err := bfs.PointToPointCtx(ctx, g, u, v)
 		if err != nil {
-			writeEstimateErr(w, err)
+			s.writeEstimateErr(w, err)
 			return
 		}
 		val = distVal{d: d, method: "exact"}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestSketchStaleGenerationNotStored: a sketch build that completes against a
+// generation an edge mutation has meanwhile replaced must be served to its
+// caller but NOT stored on the dead generation — storing it would pin the
+// stale snapshot's memory for the lifetime of the generation object.
+func TestSketchStaleGenerationNotStored(t *testing.T) {
+	s := newRobustServer(t, Config{Workers: 2})
+	stale := s.gen.Load()
+	// Swap the generation out from under the build (some candidate edges may
+	// already exist; any successful insert installs a fresh generation).
+	for v := 200; v < 220; v++ {
+		if w := doJSON(s, http.MethodPost, "/v1/edges", fmt.Sprintf(`{"u":0,"v":%d}`, v)); w.Code == http.StatusOK {
+			break
+		}
+	}
+	if s.gen.Load() == stale {
+		t.Fatal("mutation did not install a fresh generation")
+	}
+	sk1 := s.sketchFor(stale)
+	if sk1 == nil {
+		t.Fatal("stale-generation build returned nil")
+	}
+	if stale.sketch != nil {
+		t.Fatal("sketch stored on a stale generation")
+	}
+	// Each stale caller rebuilds (nothing cached) — distinct objects prove
+	// nothing was retained.
+	if sk2 := s.sketchFor(stale); sk2 == sk1 {
+		t.Fatal("second stale build returned the first build's sketch; it must not have been stored")
+	}
+	// The current generation still caches normally.
+	cur := s.gen.Load()
+	a, b := s.sketchFor(cur), s.sketchFor(cur)
+	if a == nil || a != b {
+		t.Fatal("current-generation sketch not shared between callers")
+	}
+	if cur.sketch != a {
+		t.Fatal("current-generation sketch not stored")
+	}
+}
+
+// TestSketchBuildConcurrentWithMutations hammers sketch-answered distance
+// queries while edges churn: every response must succeed, and under -race
+// this doubles as the regression test for the build/swap race the sync.Once
+// version had.
+func TestSketchBuildConcurrentWithMutations(t *testing.T) {
+	s := newRobustServer(t, Config{Workers: 2})
+	n := s.gen.Load().g.NumNodes()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u, v := (w*67+i)%n, (w*31+i*7)%n
+				rec := doJSON(s, http.MethodGet,
+					fmt.Sprintf("/v1/distance?from=%d&to=%d&mode=sketch", u, v), "")
+				if rec.Code != http.StatusOK {
+					t.Errorf("distance %d->%d: %d %s", u, v, rec.Code, rec.Body)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 30; i++ {
+		u, v := i%n, (i*13+57)%n
+		if u == v {
+			continue
+		}
+		add := doJSON(s, http.MethodPost, "/v1/edges", fmt.Sprintf(`{"u":%d,"v":%d}`, u, v))
+		if add.Code != http.StatusOK && add.Code != http.StatusBadRequest {
+			t.Fatalf("add edge: %d %s", add.Code, add.Body)
+		}
+		if add.Code == http.StatusOK {
+			del := doJSON(s, http.MethodDelete, fmt.Sprintf("/v1/edges?u=%d&v=%d", u, v), "")
+			if del.Code != http.StatusOK {
+				t.Fatalf("remove edge: %d %s", del.Code, del.Body)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

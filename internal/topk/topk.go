@@ -12,11 +12,13 @@ package topk
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/bfs"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/queue"
@@ -61,6 +63,11 @@ type Result struct {
 	// Certain reports whether the stopping rule concluded (true) or the
 	// MaxVerify cap fired (false).
 	Certain bool
+	// Partial marks an anytime search (Options.Estimate.Anytime) that was
+	// cut short by its context: Farness may mix exact values with estimates
+	// from a partial estimation run, and Certain is always false. A Partial
+	// result must never be cached or served as exact.
+	Partial bool
 	// EstimateStats carries the underlying estimation run's statistics.
 	EstimateStats core.RunStats
 }
@@ -89,6 +96,7 @@ func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 	if err != nil {
 		return nil, err
 	}
+	estPartial := est.Partial
 
 	order := make([]int, n)
 	for i := range order {
@@ -216,6 +224,9 @@ func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 		if haveExact[v] {
 			return exactCache[v], nil
 		}
+		if err := fault.Checkpoint(ctx, "topk.verify"); err != nil {
+			return 0, err
+		}
 		var err error
 		if useFrontier {
 			err = bfs.FrontierDistancesCtx(ctx, g, v, dist, workers, frontierScratch)
@@ -260,9 +271,29 @@ func ClosenessContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 		}
 		far, err := exactOf(idx, v)
 		if err != nil {
+			// Anytime degradation: a canceled verification keeps the
+			// best-so-far ranking, filling any remaining slots from the
+			// estimate order — exactly like the MaxVerify budget path, but
+			// flagged Partial so no caller mistakes it for an exact ranking.
+			if opts.Estimate.Anytime && errors.Is(err, core.ErrCanceled) {
+				res.Partial, res.Certain = true, false
+				for _, rest := range order[idx:] {
+					if len(best) == k {
+						break
+					}
+					insert(cand{graph.NodeID(rest), est.Farness[rest]})
+				}
+				break
+			}
 			return nil, err
 		}
 		insert(cand{v, far})
+	}
+	if estPartial {
+		// The ranking was ordered by a partial estimate; even a completed
+		// verification sweep inherits that uncertainty in which candidates
+		// were considered.
+		res.Partial, res.Certain = true, false
 	}
 
 	for _, c := range best {
