@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test vet check chaos bench bench-reduction bench-traversal bench-batching bench-frontier bench-sketch experiments fuzz fuzz-smoke cover
+.PHONY: build test vet check chaos bench bench-reduction bench-traversal bench-batching bench-frontier bench-sketch bench-bicc experiments fuzz fuzz-smoke cover
 
 build:
 	go build ./...
@@ -66,6 +66,14 @@ bench-frontier:
 bench-sketch:
 	go run ./cmd/experiments -only sketch -sketch-json BENCH_sketch.json
 
+# BiCC decomposition scaling study: sequential Hopcroft-Tarjan vs the
+# parallel FAST-BCC engine across worker counts {1,2,4,8} on each class's
+# reduced graph, every cell verified bit-identical to the sequential
+# baseline, recorded machine-readably in BENCH_bicc.json (see EXPERIMENTS.md
+# and DESIGN.md section 13 for the discussion).
+bench-bicc:
+	go run ./cmd/experiments -only bicc -bicc-json BENCH_bicc.json
+
 # Regenerate every table and figure of the paper (about 4 CPU-minutes).
 experiments:
 	go run ./cmd/experiments -charts
@@ -75,15 +83,18 @@ fuzz:
 	go test ./internal/io -fuzz FuzzReadMatrixMarket -fuzztime 30s
 	go test ./internal/io -fuzz FuzzReadDIMACS -fuzztime 30s
 	go test ./internal/io -fuzz FuzzReadEdgeListTruncated -fuzztime 30s
+	go test ./internal/bicc -fuzz FuzzDecompose -fuzztime 30s
 	go test ./internal/core -fuzz FuzzEstimatePipeline -fuzztime 60s
 
-# Short loader-fuzz smoke for CI: a few seconds per target catches parser
-# panics introduced by a loader change without the full fuzz budget.
+# Short fuzz smoke for CI: a few seconds per target catches parser panics
+# introduced by a loader change (and decomposition-invariant breaks from a
+# bicc engine change) without the full fuzz budget.
 fuzz-smoke:
 	go test ./internal/io -fuzz FuzzReadEdgeList -fuzztime 5s
 	go test ./internal/io -fuzz FuzzReadMatrixMarket -fuzztime 5s
 	go test ./internal/io -fuzz FuzzReadDIMACS -fuzztime 5s
 	go test ./internal/io -fuzz FuzzReadEdgeListTruncated -fuzztime 5s
+	go test ./internal/bicc -fuzz FuzzDecompose -fuzztime 5s
 
 cover:
 	go test -coverprofile=cover.out ./...

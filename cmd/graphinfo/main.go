@@ -28,6 +28,7 @@ func main() {
 		dataset = flag.String("dataset", "", "synthetic dataset name")
 		scale   = flag.Float64("scale", 1.0, "dataset scale")
 		seed    = flag.Int64("seed", 1, "seed for sampled statistics")
+		workers = flag.Int("workers", 0, "worker goroutines for reduction and BiCC (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -67,7 +68,9 @@ func main() {
 	fmt.Printf("  diameter in [%d, %d], effective (90th pct) %.0f\n",
 		s.DiameterLower, s.DiameterUpper, s.EffectiveDiam)
 
-	red, err := reduce.Run(g, reduce.All())
+	ropts := reduce.All()
+	ropts.Workers = *workers
+	red, err := reduce.Run(g, ropts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphinfo:", err)
 		os.Exit(1)
@@ -78,7 +81,7 @@ func main() {
 		100*float64(rs.IdenticalNodes)/n, 100*float64(rs.ChainNodes)/n,
 		100*float64(rs.RedundantNodes)/n,
 		red.G.NumNodes(), 100*float64(red.G.NumNodes())/n)
-	d := bicc.Decompose(red.G)
+	d := bicc.DecomposeWorkers(red.G, *workers)
 	bs := d.Summarize()
 	maxFrac := 0.0
 	if red.G.NumNodes() > 0 {

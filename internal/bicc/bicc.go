@@ -1,26 +1,52 @@
 // Package bicc implements the "B" of BRICS: decomposition of a graph into
 // its biconnected components (blocks) and construction of the block
 // cut-vertex tree (BCT) of the paper's Fig. 2. The decomposition runs on
-// the weighted reduced graph — edge weights play no role in
-// biconnectivity — using an iterative Hopcroft–Tarjan DFS with an explicit
-// edge stack, so deep road-network-like graphs cannot overflow the
-// goroutine stack.
+// the weighted reduced graph — edge weights play no role in biconnectivity.
+//
+// Two engines produce the decomposition:
+//
+//   - A sequential iterative Hopcroft–Tarjan DFS with an explicit edge
+//     stack (deep road-network-like graphs cannot overflow the goroutine
+//     stack), fanned out across connected components.
+//   - A FAST-BCC-style parallel algorithm (fastbcc.go) in the spirit of
+//     Dong/Wang/Gu/Sun, built from a parallel BFS spanning forest,
+//     Euler-tour first/last/low/high tags and a fence-condition edge
+//     classification resolved by parallel connectivity on a skeleton graph.
+//     It parallelizes *inside* one component, which is what matters on
+//     realistic inputs with one giant component.
+//
+// Both engines funnel their raw blocks through the same canonical
+// assembler, so the Decomposition is bit-identical for every engine and
+// every worker count: blocks are numbered in ascending order of their two
+// smallest nodes (two distinct blocks share at most one vertex, so that
+// key is unique), each block's edges are oriented U < V and sorted, and
+// cut flags derive from block membership. AlgoAuto picks the engine the
+// way TraversalAuto picks traversal kernels: parallel when the worker
+// budget and the edge count justify the tag/label passes, the DFS below
+// that.
 package bicc
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/par"
 )
 
-// Edge is one edge of a block, in the node ids of the decomposed graph.
+// Edge is one edge of a block, in the node ids of the decomposed graph,
+// oriented U < V.
 type Edge struct {
 	U, V graph.NodeID
 	W    int32
 }
 
-// Decomposition is the set of biconnected components of a connected graph.
+// Decomposition is the set of biconnected components of a graph in
+// canonical form: blocks ascend by their (smallest, second-smallest) node
+// pair, block edges ascend by (U, V) with U < V, and node lists are sorted.
+// The canonical form is what makes the decomposition bit-identical across
+// engines and worker counts.
 type Decomposition struct {
 	// BlockEdges lists the edges of each block. Every graph edge belongs
 	// to exactly one block.
@@ -49,207 +75,190 @@ func (d *Decomposition) CutVertices() []graph.NodeID {
 	return out
 }
 
-// frame is one node of the explicit DFS stack.
-type frame struct {
-	v, parent graph.NodeID
-	nextEdge  int32 // index into v's adjacency to resume from
+// Algorithm selects the decomposition engine.
+type Algorithm int
+
+const (
+	// AlgoAuto (default) runs the parallel engine whenever more than one
+	// worker is available and the graph carries at least parallelMinEdges
+	// edges — below that the spanning-forest/tagging passes cost more than
+	// the DFS they replace — and the sequential DFS otherwise.
+	AlgoAuto Algorithm = iota
+	// AlgoSequential forces the iterative Hopcroft–Tarjan DFS (one DFS per
+	// connected component, components fanned across workers).
+	AlgoSequential
+	// AlgoParallel forces the FAST-BCC-style spanning-forest engine.
+	AlgoParallel
+)
+
+// parallelMinEdges is the Auto threshold: under ~8k edges the parallel
+// engine's extra passes (forest, tags, skeleton connectivity) dominate and
+// the sequential DFS wins outright.
+const parallelMinEdges = 1 << 13
+
+// String names the engine for logs and benchmark tables.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoSequential:
+		return "hopcroft-tarjan"
+	case AlgoParallel:
+		return "fastbcc"
+	default:
+		return "auto"
+	}
 }
 
-// Decompose computes the biconnected components of g. The graph must be
-// connected; isolated single-node graphs yield zero blocks. Disconnected
-// inputs are processed per component (each component decomposes
-// independently), so callers that guarantee connectivity get the classic
+// ParseAlgorithm converts an engine name (as produced by String, with a few
+// aliases) into an Algorithm; the empty string is Auto.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "", "auto":
+		return AlgoAuto, nil
+	case "hopcroft-tarjan", "sequential", "dfs":
+		return AlgoSequential, nil
+	case "fastbcc", "parallel", "fast-bcc":
+		return AlgoParallel, nil
+	}
+	return 0, fmt.Errorf("bicc: unknown algorithm %q (want auto, hopcroft-tarjan or fastbcc)", s)
+}
+
+// parallel reports whether the decomposition should run the parallel engine
+// for a graph with the given edge count at the given worker count.
+func (a Algorithm) parallel(workers, edges int) bool {
+	switch a {
+	case AlgoSequential:
+		return false
+	case AlgoParallel:
+		return true
+	default:
+		return workers > 1 && edges >= parallelMinEdges
+	}
+}
+
+// Timings reports which engine a decomposition ran and the wall-clock of
+// its substages. Purely informational — it varies run to run while the
+// Decomposition itself is bit-identical — which is why it is returned
+// beside the Decomposition instead of stored inside it.
+type Timings struct {
+	// Algorithm is the engine that ran ("hopcroft-tarjan" or "fastbcc").
+	Algorithm string `json:"algorithm"`
+	// SpanningForest, Tagging and Labeling split the parallel engine's
+	// phases (BFS forest; first/last/low/high tags; skeleton connectivity
+	// plus per-edge block labels). Zero under the sequential engine.
+	SpanningForest time.Duration `json:"spanning_forest_ns"`
+	Tagging        time.Duration `json:"tagging_ns"`
+	Labeling       time.Duration `json:"labeling_ns"`
+	// Assemble covers the canonical post-pass shared by both engines.
+	Assemble time.Duration `json:"assemble_ns"`
+	// Total is the whole decomposition.
+	Total time.Duration `json:"total_ns"`
+}
+
+// Decompose computes the biconnected components of g with the sequential
+// engine. Isolated nodes yield no blocks; disconnected inputs are processed
+// per component, so callers that guarantee connectivity get the classic
 // single-tree BCT. Decompose is DecomposeWorkers at one worker — every
-// worker count yields the same Decomposition.
+// worker count and engine yields the same Decomposition.
 func Decompose(g *graph.WGraph) *Decomposition { return DecomposeWorkers(g, 1) }
 
-// DecomposeWorkers runs the Hopcroft–Tarjan decomposition with one DFS per
-// connected component, components fanned out across workers (<1 means
-// GOMAXPROCS). Components are node-disjoint, so the workers share the
-// disc/low/IsCut arrays without conflict; each component keeps a local
-// timer and local stacks, and the per-component block lists are merged in
-// ascending order of the component's smallest node — the order the
-// sequential root scan discovers them — so the output is bit-identical for
-// every worker count. A connected input (the pipeline's guarantee) has one
-// component and degenerates to the sequential pass.
+// DecomposeWorkers decomposes g under the AlgoAuto engine policy at the
+// given worker count (<1 means GOMAXPROCS). The output is bit-identical
+// for every worker count.
 func DecomposeWorkers(g *graph.WGraph, workers int) *Decomposition {
-	n := g.NumNodes()
+	d, _ := DecomposeTimed(g, AlgoAuto, workers)
+	return d
+}
+
+// DecomposeAlgo decomposes g with an explicit engine choice.
+func DecomposeAlgo(g *graph.WGraph, algo Algorithm, workers int) *Decomposition {
+	d, _ := DecomposeTimed(g, algo, workers)
+	return d
+}
+
+// DecomposeTimed is DecomposeAlgo returning the per-substage wall-clock
+// split alongside the decomposition.
+func DecomposeTimed(g *graph.WGraph, algo Algorithm, workers int) (*Decomposition, Timings) {
 	workers = par.Workers(workers)
+	start := time.Now()
+	var d *Decomposition
+	var t Timings
+	if algo.parallel(workers, g.NumEdges()) {
+		d, t = decomposeParallel(g, workers)
+		t.Algorithm = AlgoParallel.String()
+	} else {
+		d, t = decomposeSequential(g, workers)
+		t.Algorithm = AlgoSequential.String()
+	}
+	t.Total = time.Since(start)
+	return d, t
+}
+
+// assemble canonicalises raw per-block edge lists (any edge orientation and
+// order, any block order) into the final Decomposition. Both engines end
+// here, which is what pins the bit-identical contract: the engines only
+// have to agree on the *partition* of edges into blocks — a property of the
+// graph — and the assembler derives everything else deterministically.
+// Blocks are keyed by their two smallest nodes; two distinct blocks share
+// at most one vertex, so the key is unique and the order total.
+func assemble(n int, blocks [][]Edge, workers int) *Decomposition {
 	d := &Decomposition{
 		IsCut:    make([]bool, n),
 		BlocksOf: make([][]int32, n),
 	}
-	if n == 0 {
+	nb := len(blocks)
+	if nb == 0 {
 		return d
 	}
-	const unvisited = int32(-1)
-	disc := make([]int32, n)
-	low := make([]int32, n)
-	par.ForBlocks(n, workers, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			disc[i] = unvisited
-		}
-	})
-
-	// Label components by their smallest node; roots come out ascending.
-	comp := disc // reuse: unvisited doubles as "no component yet"
-	var roots []graph.NodeID
-	var bfsQ []graph.NodeID
-	for v := 0; v < n; v++ {
-		if comp[v] != unvisited {
-			continue
-		}
-		roots = append(roots, graph.NodeID(v))
-		comp[v] = int32(len(roots) - 1)
-		bfsQ = append(bfsQ[:0], graph.NodeID(v))
-		for len(bfsQ) > 0 {
-			u := bfsQ[len(bfsQ)-1]
-			bfsQ = bfsQ[:len(bfsQ)-1]
-			for _, w := range g.Neighbors(u) {
-				if comp[w] == unvisited {
-					comp[w] = comp[u]
-					bfsQ = append(bfsQ, w)
-				}
+	nodeLists := make([][]graph.NodeID, nb)
+	par.ForDynamic(nb, workers, 16, func(_, b int) {
+		blk := blocks[b]
+		for i := range blk {
+			if blk[i].U > blk[i].V {
+				blk[i].U, blk[i].V = blk[i].V, blk[i].U
 			}
 		}
-	}
-	// Reset disc for the DFS passes (comp aliased it); each component's DFS
-	// then touches only its own disjoint entries.
-	par.ForBlocks(n, workers, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			disc[i] = unvisited
-		}
-	})
-	perComp := make([][][]Edge, len(roots))
-	if len(roots) == 1 {
-		perComp[0] = decomposeComponent(g, roots[0], disc, low, d.IsCut)
-	} else {
-		par.ForDynamic(len(roots), workers, 1, func(_, c int) {
-			perComp[c] = decomposeComponent(g, roots[c], disc, low, d.IsCut)
+		sort.Slice(blk, func(i, j int) bool {
+			return blk[i].U < blk[j].U || (blk[i].U == blk[j].U && blk[i].V < blk[j].V)
 		})
+		nodes := make([]graph.NodeID, 0, len(blk)+1)
+		for _, e := range blk {
+			nodes = append(nodes, e.U, e.V)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		out := nodes[:1]
+		for _, v := range nodes[1:] {
+			if v != out[len(out)-1] {
+				out = append(out, v)
+			}
+		}
+		nodeLists[b] = out
+	})
+	order := make([]int32, nb)
+	for i := range order {
+		order[i] = int32(i)
 	}
-	for _, blocks := range perComp {
-		for _, blk := range blocks {
-			d.addBlock(blk)
+	sort.Slice(order, func(i, j int) bool {
+		a, b := nodeLists[order[i]], nodeLists[order[j]]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	})
+	d.BlockEdges = make([][]Edge, nb)
+	d.BlockNodes = make([][]graph.NodeID, nb)
+	for id, raw := range order {
+		d.BlockEdges[id] = blocks[raw]
+		d.BlockNodes[id] = nodeLists[raw]
+		for _, v := range nodeLists[raw] {
+			d.BlocksOf[v] = append(d.BlocksOf[v], int32(id))
+		}
+	}
+	for v := 0; v < n; v++ {
+		if len(d.BlocksOf[v]) >= 2 {
+			d.IsCut[v] = true
 		}
 	}
 	return d
-}
-
-// decomposeComponent runs the iterative Hopcroft–Tarjan DFS over the
-// component containing root, writing disc/low/isCut entries only for that
-// component's nodes and returning its blocks in emission order. Safe to run
-// concurrently for node-disjoint components sharing the arrays.
-func decomposeComponent(g *graph.WGraph, root graph.NodeID, disc, low []int32, isCut []bool) [][]Edge {
-	const unvisited = int32(-1)
-	var blocks [][]Edge
-	var timer int32
-	var edgeStack []Edge
-	var stack []frame
-
-	emitBlock := func(u, v graph.NodeID) {
-		// Pop edges until (u,v) inclusive; they form one block.
-		var blk []Edge
-		for len(edgeStack) > 0 {
-			e := edgeStack[len(edgeStack)-1]
-			edgeStack = edgeStack[:len(edgeStack)-1]
-			blk = append(blk, e)
-			if e.U == u && e.V == v {
-				break
-			}
-		}
-		blocks = append(blocks, blk)
-	}
-
-	rootChildren := 0
-	disc[root] = timer
-	low[root] = timer
-	timer++
-	stack = append(stack, frame{v: root, parent: -1})
-	for len(stack) > 0 {
-		f := &stack[len(stack)-1]
-		v := f.v
-		nbrs := g.Neighbors(v)
-		ws := g.Weights(v)
-		advanced := false
-		for int(f.nextEdge) < len(nbrs) {
-			w := nbrs[f.nextEdge]
-			wt := ws[f.nextEdge]
-			f.nextEdge++
-			if w == f.parent {
-				continue // simple graph: exactly one parent edge
-			}
-			if disc[w] == unvisited {
-				disc[w] = timer
-				low[w] = timer
-				timer++
-				if v == root {
-					rootChildren++
-				}
-				edgeStack = append(edgeStack, Edge{U: v, V: w, W: wt})
-				stack = append(stack, frame{v: w, parent: v})
-				advanced = true
-				break
-			}
-			if disc[w] < disc[v] {
-				// Back edge to an ancestor.
-				edgeStack = append(edgeStack, Edge{U: v, V: w, W: wt})
-				if disc[w] < low[v] {
-					low[v] = disc[w]
-				}
-			}
-		}
-		if advanced {
-			continue
-		}
-		// v is finished; propagate low to parent and test the
-		// articulation condition for the tree edge parent→v.
-		stack = stack[:len(stack)-1]
-		if f.parent >= 0 {
-			p := f.parent
-			if low[v] < low[p] {
-				low[p] = low[v]
-			}
-			if low[v] >= disc[p] {
-				if p != root {
-					isCut[p] = true
-				}
-				emitBlock(p, v)
-			}
-		}
-	}
-	if rootChildren >= 2 {
-		isCut[root] = true
-	}
-	return blocks
-}
-
-func (d *Decomposition) addBlock(edges []Edge) {
-	id := int32(len(d.BlockEdges))
-	d.BlockEdges = append(d.BlockEdges, edges)
-	// Collect distinct nodes.
-	seen := make(map[graph.NodeID]struct{}, len(edges)+1)
-	var nodes []graph.NodeID
-	add := func(v graph.NodeID) {
-		if _, ok := seen[v]; !ok {
-			seen[v] = struct{}{}
-			nodes = append(nodes, v)
-		}
-	}
-	for _, e := range edges {
-		add(e.U)
-		add(e.V)
-	}
-	// Insertion order is DFS-ish; sort for determinism.
-	for i := 1; i < len(nodes); i++ {
-		for j := i; j > 0 && nodes[j] < nodes[j-1]; j-- {
-			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
-		}
-	}
-	d.BlockNodes = append(d.BlockNodes, nodes)
-	for _, v := range nodes {
-		d.BlocksOf[v] = append(d.BlocksOf[v], id)
-	}
 }
 
 // Stats summarises a decomposition the way Table I reports it: the number
@@ -309,14 +318,28 @@ func (d *Decomposition) CommonBlock(u, v graph.NodeID) int32 {
 
 // Validate checks the defining invariants of the decomposition against the
 // source graph: every edge in exactly one block, cut flags consistent with
-// block membership counts. Used by tests.
+// block membership counts, and the canonical ordering contract (ascending
+// U < V edges inside each block, blocks ascending by smallest node pair).
+// Used by tests and the fuzz target.
 func (d *Decomposition) Validate(g *graph.WGraph) error {
 	edgeCount := 0
-	for _, blk := range d.BlockEdges {
+	for b, blk := range d.BlockEdges {
 		edgeCount += len(blk)
-		for _, e := range blk {
+		for i, e := range blk {
+			if e.U >= e.V {
+				return fmt.Errorf("bicc: block %d edge {%d,%d} not oriented U < V", b, e.U, e.V)
+			}
+			if i > 0 && !(blk[i-1].U < e.U || (blk[i-1].U == e.U && blk[i-1].V < e.V)) {
+				return fmt.Errorf("bicc: block %d edges not sorted at %d", b, i)
+			}
 			if w, ok := g.EdgeWeight(e.U, e.V); !ok || w != e.W {
 				return fmt.Errorf("bicc: block edge {%d,%d,%d} not in graph", e.U, e.V, e.W)
+			}
+		}
+		if b > 0 {
+			p, c := d.BlockNodes[b-1], d.BlockNodes[b]
+			if !(p[0] < c[0] || (p[0] == c[0] && p[1] < c[1])) {
+				return fmt.Errorf("bicc: blocks %d and %d out of canonical order", b-1, b)
 			}
 		}
 	}

@@ -1,0 +1,397 @@
+package bicc
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// This file is the FAST-BCC-style parallel engine (Dong/Wang/Gu/Sun,
+// "Provably Fast and Space-Efficient Parallel Biconnectivity"), adapted to
+// the repo's CSR layout and par primitives. The sequential Hopcroft–Tarjan
+// engine discovers blocks by DFS; that order is inherently serial, so this
+// engine instead computes the *partition* of edges into blocks with four
+// DFS-free phases and lets the shared canonical assembler (bicc.go) impose
+// the deterministic numbering:
+//
+//  1. A level-synchronous parallel BFS spanning forest. Levels are claimed
+//     by CAS, then a deterministic fix-up pass re-assigns every parent to
+//     the smallest neighbour one level up, so the forest itself is
+//     identical at every worker count.
+//  2. Euler-tour-style tags per node: subtree size nd, preorder interval
+//     [first, last], and the classic low/high = extremal preorder reachable
+//     from the subtree through a single non-tree edge. All four are
+//     level-bucketed sweeps (bottom-up or top-down), never a DFS.
+//  3. Fence-condition classification. Identifying each non-root vertex v
+//     with its parent tree edge (p(v), v), the skeleton graph hooks
+//     (a) the endpoints of every unrelated non-tree edge, and
+//     (c) child to parent for every tree edge that fails the fence
+//     low(v) >= first(w) && high(v) <= last(w) — the Tarjan–Vishkin aux
+//     graph rules with the related-non-tree rule dropped, which is exactly
+//     the FAST-BCC observation. Parallel connectivity on the skeleton
+//     (graph.ComponentsFromEdges) labels each vertex-proxy, every graph
+//     edge inherits the label of a proxy vertex, and a count/prefix/scatter
+//     groups edges into per-block lists.
+//  4. The shared assembler canonicalises those lists, which is where cut
+//     vertices fall out (membership in >= 2 blocks).
+//
+// Every phase is deterministic in its *output* even where its schedule is
+// not (CAS claim order varies; the claimed set per level does not), so both
+// engines feed the assembler the same partition and the Decomposition is
+// bit-identical across engines and worker counts.
+
+// bfsSeqFrontier is the frontier size under which a BFS level expands
+// sequentially — goroutine fan-out costs more than the scan below it.
+const bfsSeqFrontier = 256
+
+// forest is the BFS spanning forest of phase 1.
+type forest struct {
+	parent []graph.NodeID   // parent in the BFS tree, -1 at roots
+	level  []int32          // BFS depth from the component root
+	levels [][]graph.NodeID // levels[d] = nodes at depth d, all components pooled
+	roots  []graph.NodeID   // one per component, ascending node id
+}
+
+// buildForest runs one BFS per component (components discovered by an
+// ascending root scan, as everywhere else in the pipeline) and pools the
+// per-depth buckets across components so the tag sweeps of phase 2 can
+// process a whole depth at once.
+func buildForest(g *graph.WGraph, workers int) *forest {
+	n := g.NumNodes()
+	f := &forest{
+		parent: make([]graph.NodeID, n),
+		level:  make([]int32, n),
+	}
+	par.FillInt32(f.parent, -1, workers)
+	par.FillInt32(f.level, -1, workers)
+	for v := 0; v < n; v++ {
+		if f.level[v] < 0 {
+			f.roots = append(f.roots, graph.NodeID(v))
+			f.bfs(g, graph.NodeID(v), workers)
+		}
+	}
+	return f
+}
+
+// bfs expands one component level by level. Discovery runs with CAS claims
+// when the frontier is large; the parent fix-up pass afterwards overwrites
+// whatever claim order happened with the smallest depth-(d-1) neighbour
+// (adjacency is sorted), which pins the forest shape.
+func (f *forest) bfs(g *graph.WGraph, root graph.NodeID, workers int) {
+	f.level[root] = 0
+	if len(f.levels) == 0 {
+		f.levels = append(f.levels, nil)
+	}
+	f.levels[0] = append(f.levels[0], root)
+	frontier := []graph.NodeID{root}
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		var next []graph.NodeID
+		if workers == 1 || len(frontier) < bfsSeqFrontier {
+			for _, u := range frontier {
+				for _, w := range g.Neighbors(u) {
+					if f.level[w] < 0 {
+						f.level[w] = depth
+						next = append(next, w)
+					}
+				}
+			}
+		} else {
+			per := make([][]graph.NodeID, workers)
+			par.ForDynamic(len(frontier), workers, 64, func(wk, i int) {
+				for _, w := range g.Neighbors(frontier[i]) {
+					if atomic.LoadInt32(&f.level[w]) < 0 &&
+						atomic.CompareAndSwapInt32(&f.level[w], -1, depth) {
+						per[wk] = append(per[wk], w)
+					}
+				}
+			})
+			for _, p := range per {
+				next = append(next, p...)
+			}
+		}
+		if len(next) == 0 {
+			return
+		}
+		par.ForDynamic(len(next), workers, 128, func(_, i int) {
+			w := next[i]
+			for _, u := range g.Neighbors(w) {
+				if f.level[u] == depth-1 {
+					f.parent[w] = u
+					break
+				}
+			}
+		})
+		if int(depth) >= len(f.levels) {
+			f.levels = append(f.levels, nil)
+		}
+		f.levels[depth] = append(f.levels[depth], next...)
+		frontier = next
+	}
+}
+
+// tags carries the per-node Euler-tour values of phase 2. first/last are
+// forest-global preorder numbers (component subtrees occupy disjoint
+// intervals, roots laid out in ascending order), so ancestry tests work
+// uniformly across the whole forest.
+type tags struct {
+	nd    []int32 // subtree size
+	first []int32 // preorder number
+	last  []int32 // first + nd - 1: subtree = [first, last]
+	low   []int32 // min preorder reachable via one non-tree edge from subtree
+	high  []int32 // max, likewise
+}
+
+// ancestor reports whether a is a (possibly improper) ancestor of b in the
+// BFS forest: b's preorder falls inside a's subtree interval.
+func (t *tags) ancestor(a, b graph.NodeID) bool {
+	return t.first[a] <= t.first[b] && t.first[b] <= t.last[a]
+}
+
+// related reports whether u and w lie on one root-to-leaf path.
+func (t *tags) related(u, w graph.NodeID) bool {
+	return t.ancestor(u, w) || t.ancestor(w, u)
+}
+
+// newTags computes nd bottom-up, first top-down, then low/high bottom-up.
+// Each sweep synchronises per BFS depth: a node's children live exactly one
+// level deeper, so the value it reads was finalised by the previous
+// iteration's barrier and every pass is an ordinary parallel loop.
+func newTags(g *graph.WGraph, f *forest, workers int) *tags {
+	n := g.NumNodes()
+	t := &tags{
+		nd:    make([]int32, n),
+		first: make([]int32, n),
+		last:  make([]int32, n),
+		low:   make([]int32, n),
+		high:  make([]int32, n),
+	}
+	// Subtree sizes, deepest level first.
+	for d := len(f.levels) - 1; d >= 0; d-- {
+		lvl := f.levels[d]
+		par.ForDynamic(len(lvl), workers, 64, func(_, i int) {
+			v := lvl[i]
+			size := int32(1)
+			for _, w := range g.Neighbors(v) {
+				if f.parent[w] == v {
+					size += t.nd[w]
+				}
+			}
+			t.nd[v] = size
+		})
+	}
+	// Preorder numbers: component base offsets in root order, then each
+	// level hands contiguous child intervals down in sorted-adjacency order
+	// (the same preorder a DFS would produce on this tree).
+	base := int32(0)
+	for _, r := range f.roots {
+		t.first[r] = base
+		base += t.nd[r]
+	}
+	for d := 0; d < len(f.levels)-1; d++ {
+		lvl := f.levels[d]
+		par.ForDynamic(len(lvl), workers, 64, func(_, i int) {
+			v := lvl[i]
+			off := t.first[v] + 1
+			for _, w := range g.Neighbors(v) {
+				if f.parent[w] == v {
+					t.first[w] = off
+					off += t.nd[w]
+				}
+			}
+		})
+	}
+	par.ForBlocks(n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			t.last[v] = t.first[v] + t.nd[v] - 1
+		}
+	})
+	// low/high: seed with the node's own non-tree neighbours, then fold
+	// children upward level by level.
+	par.ForBlocks(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := graph.NodeID(i)
+			lowV, highV := t.first[v], t.first[v]
+			for _, w := range g.Neighbors(v) {
+				if w == f.parent[v] || f.parent[w] == v {
+					continue
+				}
+				if fw := t.first[w]; fw < lowV {
+					lowV = fw
+				} else if fw > highV {
+					highV = fw
+				}
+			}
+			t.low[v], t.high[v] = lowV, highV
+		}
+	})
+	for d := len(f.levels) - 2; d >= 0; d-- {
+		lvl := f.levels[d]
+		par.ForDynamic(len(lvl), workers, 64, func(_, i int) {
+			v := lvl[i]
+			lowV, highV := t.low[v], t.high[v]
+			for _, w := range g.Neighbors(v) {
+				if f.parent[w] != v {
+					continue
+				}
+				if t.low[w] < lowV {
+					lowV = t.low[w]
+				}
+				if t.high[w] > highV {
+					highV = t.high[w]
+				}
+			}
+			t.low[v], t.high[v] = lowV, highV
+		})
+	}
+	return t
+}
+
+// labelBlocks is phase 3: build the skeleton pairs, run parallel
+// connectivity over them, label every graph edge with its block's skeleton
+// component, and scatter edges into per-block lists. Returned lists are in
+// arbitrary internal order — the assembler canonicalises.
+func labelBlocks(g *graph.WGraph, f *forest, t *tags, workers int) [][]Edge {
+	n := g.NumNodes()
+
+	// emitPairs walks the canonical (u < w) edges of a node range and emits
+	// the skeleton pair of each edge that induces one. Count and fill passes
+	// share it, so the two passes agree exactly.
+	emitPairs := func(lo, hi int, emit func(x, y graph.NodeID)) {
+		for i := lo; i < hi; i++ {
+			u := graph.NodeID(i)
+			for _, w := range g.Neighbors(u) {
+				if w <= u {
+					continue
+				}
+				if f.parent[w] == u || f.parent[u] == w {
+					c, p := w, u
+					if f.parent[c] != p {
+						c, p = u, w
+					}
+					// Fence rule (c): hook the child proxy to the parent
+					// proxy when the subtree of c escapes p's interval.
+					// Roots have no proxy edge, hence the parent[p] guard.
+					if f.parent[p] >= 0 && (t.low[c] < t.first[p] || t.high[c] > t.last[p]) {
+						emit(c, p)
+					}
+				} else if !t.related(u, w) {
+					// Rule (a): unrelated non-tree edge hooks its
+					// endpoints' proxies directly.
+					emit(u, w)
+				}
+			}
+		}
+	}
+	nbk := par.NumBlocks(n, workers)
+	counts := make([]int64, nbk)
+	par.ForBlocks(n, workers, func(b, lo, hi int) {
+		var c int64
+		emitPairs(lo, hi, func(_, _ graph.NodeID) { c++ })
+		counts[b] = c
+	})
+	var totalPairs int64
+	for b := range counts {
+		c := counts[b]
+		counts[b] = totalPairs
+		totalPairs += c
+	}
+	pairs := make([][2]graph.NodeID, totalPairs)
+	par.ForBlocks(n, workers, func(b, lo, hi int) {
+		off := counts[b]
+		emitPairs(lo, hi, func(x, y graph.NodeID) {
+			pairs[off] = [2]graph.NodeID{x, y}
+			off++
+		})
+	})
+	labels := graph.ComponentsFromEdges(n, pairs, workers)
+
+	// Every edge inherits a proxy label: tree edges that of the child,
+	// ancestor–descendant non-tree edges that of the descendant, unrelated
+	// non-tree edges either endpoint (rule (a) hooked them equal).
+	edgeLabel := func(u, w graph.NodeID) int32 {
+		switch {
+		case f.parent[w] == u:
+			return labels[w]
+		case f.parent[u] == w:
+			return labels[u]
+		case t.ancestor(u, w):
+			return labels[w]
+		case t.ancestor(w, u):
+			return labels[u]
+		default:
+			return labels[u]
+		}
+	}
+	sizes := make([]int64, n)
+	par.ForBlocks(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := graph.NodeID(i)
+			for _, w := range g.Neighbors(u) {
+				if w > u {
+					atomic.AddInt64(&sizes[edgeLabel(u, w)], 1)
+				}
+			}
+		}
+	})
+	totalEdges := par.PrefixSum(sizes, workers) // sizes[l] = end offset of label l
+	cur := make([]int64, n)                     // claim cursor, starts at label start
+	par.ForBlocks(n, workers, func(_, lo, hi int) {
+		for l := lo; l < hi; l++ {
+			if l > 0 {
+				cur[l] = sizes[l-1]
+			}
+		}
+	})
+	flat := make([]Edge, totalEdges)
+	par.ForBlocks(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := graph.NodeID(i)
+			nbrs := g.Neighbors(u)
+			ws := g.Weights(u)
+			for j, w := range nbrs {
+				if w <= u {
+					continue
+				}
+				idx := atomic.AddInt64(&cur[edgeLabel(u, w)], 1) - 1
+				flat[idx] = Edge{U: u, V: w, W: ws[j]}
+			}
+		}
+	})
+	var blocks [][]Edge
+	start := int64(0)
+	for l := 0; l < n; l++ {
+		if end := sizes[l]; end > start {
+			blocks = append(blocks, flat[start:end])
+			start = end
+		}
+	}
+	return blocks
+}
+
+// decomposeParallel is the FAST-BCC engine entry point; see the file
+// comment for the phase breakdown.
+func decomposeParallel(g *graph.WGraph, workers int) (*Decomposition, Timings) {
+	var t Timings
+	n := g.NumNodes()
+	if n == 0 {
+		return assemble(0, nil, workers), t
+	}
+	start := time.Now()
+	f := buildForest(g, workers)
+	t.SpanningForest = time.Since(start)
+
+	start = time.Now()
+	tg := newTags(g, f, workers)
+	t.Tagging = time.Since(start)
+
+	start = time.Now()
+	blocks := labelBlocks(g, f, tg, workers)
+	t.Labeling = time.Since(start)
+
+	start = time.Now()
+	d := assemble(n, blocks, workers)
+	t.Assemble = time.Since(start)
+	return d, t
+}

@@ -173,6 +173,10 @@ type RunStats struct {
 	// Blocks summarises the biconnected decomposition (zero unless
 	// TechBiCC ran).
 	Blocks bicc.Stats
+	// BiCC reports which decomposition engine ran (sequential
+	// Hopcroft–Tarjan vs parallel FAST-BCC under the auto policy) and its
+	// per-substage wall clock; zero unless the decomposition ran.
+	BiCC bicc.Timings
 	// Samples is the number of BFS/Dial sources actually used.
 	Samples int
 	// FallbackAssignments counts removed nodes whose block assignment had

@@ -39,12 +39,13 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 		return nil, err
 	}
 	prepStart := time.Now()
-	d := bicc.DecomposeWorkers(red.G, opts.Workers)
+	d, biccT := bicc.DecomposeTimed(red.G, bicc.AlgoAuto, opts.Workers)
 	if d.NumBlocks() <= 1 {
 		// A single biconnected block degenerates to the global estimator.
 		res, err := estimateGlobal(ctx, red, opts)
 		if err == nil {
 			res.Stats.Blocks = d.Summarize()
+			res.Stats.BiCC = biccT
 		}
 		return res, err
 	}
@@ -767,6 +768,7 @@ func estimateCumulative(ctx context.Context, red *reduce.Reduction, opts *Option
 		Exact:   make([]bool, n),
 		Stats: RunStats{
 			Blocks:              d.Summarize(),
+			BiCC:                biccT,
 			Samples:             totalSamples,
 			FallbackAssignments: fallbacks,
 			Preprocess:          prep,

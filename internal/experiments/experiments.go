@@ -80,11 +80,13 @@ func TableI(cfg Config) ([]TableIRow, error) {
 	var rows []TableIRow
 	for _, ds := range gen.Datasets(cfg.scale()) {
 		g := ds.Build()
-		red, err := reduce.Run(g, reduce.All())
+		ropts := reduce.All()
+		ropts.Workers = cfg.Workers
+		red, err := reduce.Run(g, ropts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", ds.Name, err)
 		}
-		d := bicc.Decompose(g.ToWeighted())
+		d := bicc.DecomposeWorkers(g.ToWeighted(), cfg.Workers)
 		bs := d.Summarize()
 		rows = append(rows, TableIRow{
 			Dataset:             ds,

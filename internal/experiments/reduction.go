@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/bicc"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/reduce"
@@ -15,9 +16,11 @@ import (
 
 // ReductionRow is one (dataset, worker-count) measurement of the
 // preprocessing pipeline: total wall-clock plus the per-stage split from
-// reduce.Timings, and the speedup over the same dataset's sequential
-// (workers=1) run. The pipeline's output is bit-identical across worker
-// counts, so only time is compared.
+// reduce.Timings, the biconnected decomposition of the reduced graph (the
+// "B" stage that follows the reductions on the preprocessing critical
+// path, with its engine and substage split), and the speedup over the same
+// dataset's sequential (workers=1) run. The pipeline's output is
+// bit-identical across worker counts, so only time is compared.
 type ReductionRow struct {
 	Dataset gen.Dataset    `json:"-"`
 	Name    string         `json:"name"`
@@ -27,6 +30,7 @@ type ReductionRow struct {
 	Workers int            `json:"workers"`
 	Total   time.Duration  `json:"total_ns"`
 	Timings reduce.Timings `json:"stages_ns"`
+	BiCC    bicc.Timings   `json:"bicc_ns"`
 	Speedup float64        `json:"speedup_vs_sequential"`
 }
 
@@ -93,9 +97,13 @@ func reductionPoint(ds gen.Dataset, g *graph.Graph, workers int) (ReductionRow, 
 		if err != nil {
 			return row, fmt.Errorf("%s workers=%d: %v", ds.Name, workers, err)
 		}
+		_, biccT := bicc.DecomposeTimed(red.G, bicc.AlgoAuto, workers)
 		if rep == 0 || total < row.Total {
 			row.Total = total
 			row.Timings = red.Timings
+		}
+		if rep == 0 || biccT.Total < row.BiCC.Total {
+			row.BiCC = biccT
 		}
 	}
 	return row, nil
@@ -106,8 +114,8 @@ func reductionPoint(ds gen.Dataset, g *graph.Graph, workers int) (ReductionRow, 
 // sequential pipeline at each worker count.
 func FprintReduction(w io.Writer, rows []ReductionRow) {
 	fmt.Fprintf(w, "Reduction pipeline: preprocessing wall-clock by worker count (output is identical at every count)\n")
-	fmt.Fprintf(w, "%-28s %-10s %7s %10s %10s %10s %10s %10s %8s\n",
-		"Graph", "Class", "workers", "twins", "chains", "redundant", "rounds", "total", "speedup")
+	fmt.Fprintf(w, "%-28s %-10s %7s %10s %10s %10s %10s %10s %8s %10s %-16s\n",
+		"Graph", "Class", "workers", "twins", "chains", "redundant", "rounds", "total", "speedup", "bicc", "bicc-engine")
 	prev := ""
 	for _, r := range rows {
 		name, class := r.Name, r.Class
@@ -116,10 +124,11 @@ func FprintReduction(w io.Writer, rows []ReductionRow) {
 		} else {
 			prev = name
 		}
-		fmt.Fprintf(w, "%-28s %-10s %7d %10s %10s %10s %10s %10s %7.2fx\n",
+		fmt.Fprintf(w, "%-28s %-10s %7d %10s %10s %10s %10s %10s %7.2fx %10s %-16s\n",
 			name, class, r.Workers,
 			fmtDur(r.Timings.Twins), fmtDur(r.Timings.Chains), fmtDur(r.Timings.Redundant),
-			fmtDur(r.Timings.Rounds), fmtDur(r.Total), r.Speedup)
+			fmtDur(r.Timings.Rounds), fmtDur(r.Total), r.Speedup,
+			fmtDur(r.BiCC.Total), r.BiCC.Algorithm)
 	}
 }
 

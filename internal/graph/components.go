@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"sync/atomic"
+
+	"repro/internal/par"
+)
+
+// ComponentsFromEdges labels the connected components of an n-node graph
+// given as a bare edge list, in parallel. The returned label of every node
+// is the smallest node id in its component — nodes touched by no edge stay
+// their own singleton component — so the result is deterministic for every
+// worker count and edge order.
+//
+// The algorithm is Shiloach–Vishkin-style min-label hooking with pointer
+// jumping: each round relaxes every edge by hooking the larger of the two
+// endpoint labels onto the smaller, then compresses label chains, and the
+// rounds repeat until a full round changes nothing. Labels only decrease
+// and every intermediate label is a node of the same component, which gives
+// both termination and the min-id fixpoint. The BiCC skeleton connectivity
+// is the intended caller; unlike Components/WComponents this needs no CSR,
+// so classification passes can feed it a filtered edge subset directly.
+func ComponentsFromEdges(n int, edges [][2]NodeID, workers int) []int32 {
+	labels := make([]int32, n)
+	workers = par.Workers(workers)
+	par.ForBlocks(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			labels[i] = int32(i)
+		}
+	})
+	if n == 0 || len(edges) == 0 {
+		return labels
+	}
+	for {
+		var changed atomic.Bool
+		// Hook: point the root-ish label of the larger side at the smaller.
+		par.ForBlocks(len(edges), workers, func(_, lo, hi int) {
+			ch := false
+			for i := lo; i < hi; i++ {
+				u, v := edges[i][0], edges[i][1]
+				lu := atomic.LoadInt32(&labels[u])
+				lv := atomic.LoadInt32(&labels[v])
+				switch {
+				case lu < lv:
+					ch = atomicMinInt32(&labels[lv], lu) || ch
+				case lv < lu:
+					ch = atomicMinInt32(&labels[lu], lv) || ch
+				}
+			}
+			if ch {
+				changed.Store(true)
+			}
+		})
+		// Compress: shortcut label chains until every node points at a
+		// fixpoint label.
+		par.ForBlocks(n, workers, func(_, lo, hi int) {
+			ch := false
+			for v := lo; v < hi; v++ {
+				for {
+					p := atomic.LoadInt32(&labels[v])
+					pp := atomic.LoadInt32(&labels[p])
+					if pp == p {
+						break
+					}
+					atomic.CompareAndSwapInt32(&labels[v], p, pp)
+					ch = true
+				}
+			}
+			if ch {
+				changed.Store(true)
+			}
+		})
+		if !changed.Load() {
+			return labels
+		}
+	}
+}
+
+// atomicMinInt32 lowers *addr to x if x is smaller, reporting whether it
+// changed anything.
+func atomicMinInt32(addr *int32, x int32) bool {
+	for {
+		old := atomic.LoadInt32(addr)
+		if old <= x {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(addr, old, x) {
+			return true
+		}
+	}
+}

@@ -117,6 +117,17 @@ func ForBlocks(n, workers int, fn func(block, lo, hi int)) {
 	wg.Wait()
 }
 
+// FillInt32 sets every element of a to v across workers — the memset idiom
+// the graph kernels repeat (distance rows, discovery tags, parent arrays)
+// lifted into one helper. The static block schedule matches ForBlocks.
+func FillInt32(a []int32, v int32, workers int) {
+	ForBlocks(len(a), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] = v
+		}
+	})
+}
+
 // PrefixSum converts a into its inclusive prefix sum in place
 // (a[i] becomes a[0]+…+a[i]) and returns the total. The parallel schedule
 // is the usual three-phase scan — per-block sums, a sequential scan of the
