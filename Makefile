@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test vet check chaos bench bench-reduction bench-traversal bench-batching bench-frontier bench-sketch bench-bicc experiments fuzz fuzz-smoke cover
+.PHONY: build test vet check chaos bench bench-reduction bench-traversal bench-batching bench-frontier bench-sketch bench-bicc bench-load experiments fuzz fuzz-smoke cover
 
 build:
 	go build ./...
@@ -74,6 +74,15 @@ bench-sketch:
 bench-bicc:
 	go run ./cmd/experiments -only bicc -bicc-json BENCH_bicc.json
 
+# Artifact load-path study: time-to-first-query (load + one BFS) of text
+# edge-list parse vs buffered binary CSR read vs mmap zero-copy open, with
+# the mmap cell split into map+verify and first-traversal (page-fault) cost,
+# one dataset per generator family, the CSR verified word-identical across
+# paths before timing, recorded machine-readably in BENCH_load.json (see
+# EXPERIMENTS.md and DESIGN.md section 14 for the discussion).
+bench-load:
+	go run ./cmd/experiments -only load -load-json BENCH_load.json
+
 # Regenerate every table and figure of the paper (about 4 CPU-minutes).
 experiments:
 	go run ./cmd/experiments -charts
@@ -83,6 +92,7 @@ fuzz:
 	go test ./internal/io -fuzz FuzzReadMatrixMarket -fuzztime 30s
 	go test ./internal/io -fuzz FuzzReadDIMACS -fuzztime 30s
 	go test ./internal/io -fuzz FuzzReadEdgeListTruncated -fuzztime 30s
+	go test ./internal/bincsr -fuzz FuzzReadBinCSR -fuzztime 30s
 	go test ./internal/bicc -fuzz FuzzDecompose -fuzztime 30s
 	go test ./internal/core -fuzz FuzzEstimatePipeline -fuzztime 60s
 
@@ -94,6 +104,7 @@ fuzz-smoke:
 	go test ./internal/io -fuzz FuzzReadMatrixMarket -fuzztime 5s
 	go test ./internal/io -fuzz FuzzReadDIMACS -fuzztime 5s
 	go test ./internal/io -fuzz FuzzReadEdgeListTruncated -fuzztime 5s
+	go test ./internal/bincsr -fuzz FuzzReadBinCSR -fuzztime 5s
 	go test ./internal/bicc -fuzz FuzzDecompose -fuzztime 5s
 
 cover:

@@ -5,20 +5,29 @@
 //
 //	brics -input graph.txt[.gz] [-techniques BRIC] [-fraction 0.2]
 //	      [-exact] [-workers N] [-seed S] [-output out.csv] [-top K]
+//	brics convert -input graph.txt[.gz] [-output graph.bricsbin]
+//	      [-connect] [-verify] [-workers N]
 //
-// The input is a SNAP edge list or Matrix Market file; disconnected inputs
-// are connected with bridge edges (the paper's preprocessing). Without
-// -input, a synthetic dataset can be selected with -dataset (see
-// cmd/experiments -list).
+// The input is a SNAP edge list, Matrix Market, DIMACS or .bricsbin file;
+// disconnected inputs are connected with bridge edges (the paper's
+// preprocessing). Without -input, a synthetic dataset can be selected with
+// -dataset (see cmd/experiments -list).
+//
+// The convert subcommand parses the input once and writes a binary CSR
+// artifact (.bricsbin) that bricsd and every other tool load back at
+// page-cache speed — mmap on linux — instead of re-parsing text.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
+	"repro/internal/bincsr"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -27,6 +36,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "convert" {
+		convertMain(os.Args[2:])
+		return
+	}
 	var (
 		input      = flag.String("input", "", "input graph file (SNAP edge list or .mtx, optionally .gz)")
 		dataset    = flag.String("dataset", "", "synthetic dataset name instead of -input (e.g. 'osm-luxembourg')")
@@ -150,10 +163,87 @@ func main() {
 	}
 }
 
+// convertMain implements `brics convert`: parse once, write a .bricsbin
+// artifact. Connectivity is resolved at convert time — either the input is
+// already connected or -connect (default) bridges it — so the artifact
+// carries FlagConnected and servers loading it skip the O(n+m) scan.
+func convertMain(args []string) {
+	fs := flag.NewFlagSet("brics convert", flag.ExitOnError)
+	var (
+		input   = fs.String("input", "", "input graph file (edge list, .mtx, .gr, .bricsbin, optionally .gz)")
+		dataset = fs.String("dataset", "", "synthetic dataset name instead of -input")
+		scale   = fs.Float64("scale", 1.0, "synthetic dataset scale factor")
+		output  = fs.String("output", "", "output artifact path (default: input with a .bricsbin extension)")
+		connect = fs.Bool("connect", true, "bridge a disconnected input (paper preprocessing); the artifact then records connectivity")
+		verify  = fs.Bool("verify", true, "re-read the artifact with full checksum and structure verification after writing")
+		workers = fs.Int("workers", 0, "verification scan width (0 = GOMAXPROCS)")
+	)
+	_ = fs.Parse(args)
+
+	g, name, err := loadInput(*input, *dataset, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	out := *output
+	if out == "" {
+		if *input == "" {
+			fatal(fmt.Errorf("-output is required with -dataset"))
+		}
+		base := strings.TrimSuffix(*input, ".gz")
+		if i := strings.LastIndexByte(base, '.'); i > strings.LastIndexByte(base, '/') {
+			base = base[:i]
+		}
+		out = base + ".bricsbin"
+	}
+
+	var flags bincsr.Flags
+	switch {
+	case graph.IsConnected(g):
+		flags |= bincsr.FlagConnected
+	case *connect:
+		fmt.Fprintln(os.Stderr, "input disconnected; adding bridge edges (paper preprocessing)")
+		g = graph.Connect(g)
+		flags |= bincsr.FlagConnected
+	}
+
+	start := time.Now()
+	if err := bincsr.WriteFile(out, g, flags); err != nil {
+		fatal(err)
+	}
+	wrote := time.Since(start)
+	st, err := os.Stat(out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("converted %s -> %s: %d nodes, %d edges, %d bytes, connected=%v, in %v\n",
+		name, out, g.NumNodes(), g.NumEdges(), st.Size(),
+		flags&bincsr.FlagConnected != 0, wrote.Round(time.Millisecond))
+
+	if *verify {
+		start = time.Now()
+		f, err := os.Open(out)
+		if err != nil {
+			fatal(err)
+		}
+		art, err := bincsr.ReadWorkers(bufio.NewReaderSize(f, 1<<20), *workers)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(fmt.Errorf("verify: %w", err))
+		}
+		if art.G.NumNodes() != g.NumNodes() || art.G.NumEdges() != g.NumEdges() {
+			fatal(fmt.Errorf("verify: artifact shape (%d,%d) differs from source (%d,%d)",
+				art.G.NumNodes(), art.G.NumEdges(), g.NumNodes(), g.NumEdges()))
+		}
+		fmt.Printf("verified (checksums + structure) in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
 func loadInput(input, dataset string, scale float64) (*graph.Graph, string, error) {
 	switch {
 	case input != "":
-		g, err := repro_io.ReadFile(input)
+		g, err := repro_io.ReadAny(input)
 		return g, input, err
 	case dataset != "":
 		ds, ok := gen.ByName(dataset, scale)

@@ -23,7 +23,10 @@
 // it as BENCH_sketch.json (used by `make bench-sketch`). The bicc experiment
 // runs the biconnected-decomposition engine × worker-count scaling study on
 // each class's reduced graph; -bicc-json writes it as BENCH_bicc.json (used
-// by `make bench-bicc`).
+// by `make bench-bicc`). The load experiment measures time-to-first-query of
+// the three graph load paths (text parse vs buffered binary read vs mmap
+// zero-copy); -load-json writes it as BENCH_load.json (used by
+// `make bench-load`).
 // -cpuprofile/-memprofile capture pprof profiles of
 // whatever subset runs — the intended workflow for chasing kernel
 // regressions spotted in the matrix.
@@ -47,13 +50,14 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default stand-in sizes)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		seed       = flag.Int64("seed", 1, "sampling seed")
-		only       = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,traversal,batching,frontier,sketch,bicc,reduction,ablations,sweep")
+		only       = flag.String("only", "", "comma-separated subset: table1,fig4a,fig4b,fig5,fig6,fig7,fig8,fig9,traversal,batching,frontier,sketch,bicc,load,reduction,ablations,sweep")
 		jsonOut    = flag.String("json", "", "write the reduction benchmark rows to this JSON file")
 		travOut    = flag.String("traversal-json", "", "write the traversal locality matrix to this JSON file")
 		batchOut   = flag.String("batching-json", "", "write the source-batching matrix to this JSON file")
 		frontOut   = flag.String("frontier-json", "", "write the frontier scaling study to this JSON file")
 		sketchOut  = flag.String("sketch-json", "", "write the distance-sketch query study to this JSON file")
 		biccOut    = flag.String("bicc-json", "", "write the BiCC decomposition scaling study to this JSON file")
+		loadOut    = flag.String("load-json", "", "write the artifact load-path study to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		charts     = flag.Bool("charts", false, "render text bar charts in addition to the tables")
@@ -207,6 +211,16 @@ func main() {
 		if *biccOut != "" {
 			check(experiments.WriteBiCCJSON(*biccOut, cfg, rows))
 			fmt.Printf("wrote %s\n", *biccOut)
+		}
+		fmt.Println()
+	}
+	if run("load") {
+		rows, err := experiments.LoadBench(cfg)
+		check(err)
+		experiments.FprintLoad(os.Stdout, rows)
+		if *loadOut != "" {
+			check(experiments.WriteLoadJSON(*loadOut, cfg, rows))
+			fmt.Printf("wrote %s\n", *loadOut)
 		}
 		fmt.Println()
 	}

@@ -4,7 +4,7 @@
 // BRICS technique configuration based on the same per-class rules the
 // paper derives.
 //
-//	graphinfo -input graph.txt
+//	graphinfo -input graph.txt            (also .mtx, .gr, .bricsbin, .gz)
 //	graphinfo -dataset soc-douban
 package main
 
@@ -37,7 +37,7 @@ func main() {
 	var name string
 	switch {
 	case *input != "":
-		g, err = repro_io.ReadFile(*input)
+		g, err = repro_io.ReadAny(*input)
 		name = *input
 	case *dataset != "":
 		ds, ok := gen.ByName(*dataset, *scale)

@@ -3,6 +3,7 @@ package bfs
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/gen"
@@ -124,18 +125,17 @@ func TestRunBatchesCtxCanceledMidRun(t *testing.T) {
 		sources = append(sources, graph.NodeID(i%n))
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	handled := 0
+	var handled atomic.Int64 // the handler runs concurrently from both workers
 	err := RunBatchesCtx(ctx, g, sources, 2, func(_, _ int, _ []graph.NodeID, _ [][]int32) {
-		handled++
-		if handled == 2 {
+		if handled.Add(1) == 2 {
 			cancel()
 		}
 	})
 	if !errors.Is(err, par.ErrCanceled) {
 		t.Fatalf("want ErrCanceled, got %v", err)
 	}
-	if handled >= len(sources)/MSBFSWidth {
-		t.Fatalf("cancellation did not stop the driver (handled %d batches)", handled)
+	if int(handled.Load()) >= len(sources)/MSBFSWidth {
+		t.Fatalf("cancellation did not stop the driver (handled %d batches)", handled.Load())
 	}
 }
 

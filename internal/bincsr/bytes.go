@@ -1,0 +1,97 @@
+package bincsr
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// The on-disk format is little-endian. On little-endian hosts (every
+// platform this project targets in practice) the typed arrays and their
+// byte images are the same bits, so writing serialises with zero copies and
+// the mmap path aliases the mapping directly. Big-endian hosts fall back to
+// an explicit encode/decode copy — correctness everywhere, zero-copy where
+// it matters.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// int64Bytes returns the little-endian byte image of s. On LE hosts it
+// aliases s (no copy); the caller must not let the view outlive s.
+func int64Bytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+	}
+	b := make([]byte, len(s)*8)
+	for i, v := range s {
+		binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
+	}
+	return b
+}
+
+// int32Bytes returns the little-endian byte image of s (see int64Bytes).
+func int32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+	}
+	b := make([]byte, len(s)*4)
+	for i, v := range s {
+		binary.LittleEndian.PutUint32(b[i*4:], uint32(v))
+	}
+	return b
+}
+
+// decodeInt64 fills dst from its little-endian byte image. On LE hosts it
+// is a single memmove.
+func decodeInt64(dst []int64, b []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	if hostLittleEndian {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), len(dst)*8), b)
+		return
+	}
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+}
+
+// decodeInt32 fills dst from its little-endian byte image (see
+// decodeInt64).
+func decodeInt32(dst []int32, b []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	if hostLittleEndian {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), len(dst)*4), b)
+		return
+	}
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+}
+
+// aliasInt64 reinterprets a little-endian byte region as []int64 without
+// copying. Caller guarantees 8-byte alignment (section offsets are 64-byte
+// aligned and mmap bases are page-aligned) and a little-endian host.
+func aliasInt64(b []byte, n int64) []int64 {
+	if n == 0 {
+		return []int64{}
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+}
+
+// aliasInt32 reinterprets a little-endian byte region as []int32 (see
+// aliasInt64).
+func aliasInt32(b []byte, n int64) []int32 {
+	if n == 0 {
+		return []int32{}
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+}

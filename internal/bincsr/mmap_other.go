@@ -1,0 +1,25 @@
+//go:build !linux
+
+package bincsr
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without the syscall.Mmap path reads the file into
+// memory — the copy fallback behind the same Mapped API. Loads are still a
+// single sequential read of a binary image (no parsing), just not
+// zero-copy.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, size), data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+func unmapFile([]byte) error { return nil }

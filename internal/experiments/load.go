@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/bincsr"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	repro_io "repro/internal/io"
+)
+
+// LoadRow is one dataset of the cold-start study: time-to-first-query (load
+// the graph, answer one BFS) through the three load paths a server can take
+// — parse the text edge list, read the binary CSR artifact through a
+// buffered stream, or mmap the artifact zero-copy. FirstTraversal isolates
+// the page-fault cost of the mmap path: the first BFS is what actually
+// touches the mapped adjacency pages, so it is the honest place to account
+// for them. Before any timing, the CSR loaded through every path is checked
+// word-for-word identical to the built graph — bit-identical farness follows
+// because every estimator is deterministic on the CSR.
+type LoadRow struct {
+	Dataset gen.Dataset `json:"-"`
+	Name    string      `json:"name"`
+	Class   string      `json:"class"`
+	Nodes   int         `json:"nodes"`
+	Edges   int         `json:"edges"`
+	// Largest marks the biggest graph of the run — the acceptance row for
+	// the mmap-vs-text speedup.
+	Largest bool `json:"largest"`
+
+	TextBytes int64 `json:"text_bytes"`
+	BinBytes  int64 `json:"artifact_bytes"`
+
+	// TTFQ = load + one full BFS from node 0, best of loadReps runs with a
+	// warm page cache (the registry's steady state: artifacts sit in the
+	// cache, processes come and go).
+	TextTTFQ time.Duration `json:"text_ttfq_ns"`
+	BinTTFQ  time.Duration `json:"bin_ttfq_ns"`
+	MmapTTFQ time.Duration `json:"mmap_ttfq_ns"`
+
+	// MmapOpen is the map+verify portion alone (header and offsets CRC, no
+	// edge pages touched); FirstTraversal is the first BFS over the fresh
+	// mapping, where the adjacency pages actually fault in.
+	MmapOpen       time.Duration `json:"mmap_open_ns"`
+	FirstTraversal time.Duration `json:"mmap_first_traversal_ns"`
+
+	// Speedup is TextTTFQ / MmapTTFQ — the acceptance ratio (≥10x on the
+	// largest graph).
+	Speedup float64 `json:"mmap_ttfq_speedup_vs_text"`
+	// Mapped is false on hosts without mmap support, where the "mmap" path
+	// silently degrades to a heap copy (the numbers then measure that).
+	Mapped bool `json:"mapped"`
+}
+
+// loadReps is how many times each load path runs; the minimum is reported,
+// the standard cold-start benchmarking stance (the minimum is the run least
+// disturbed by the scheduler, and the page cache is deliberately warm).
+const loadReps = 3
+
+// firstQuery answers one full BFS from node 0 and folds the distances so
+// the traversal cannot be optimised away. It is the "first query" of TTFQ:
+// cheap against a text parse, yet it walks every CSR page once — exactly
+// the access pattern that makes a lazy mmap load pay its deferred cost.
+func firstQuery(g *graph.Graph) int64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	dist := make([]int32, n)
+	bfs.Distances(g, 0, dist, nil)
+	var sum int64
+	for _, d := range dist {
+		sum += int64(d)
+	}
+	return sum
+}
+
+// sameCSR reports whether two graphs hold word-for-word identical CSR
+// arrays. Identical CSR ⇒ bit-identical farness at every worker count:
+// every traversal kernel is deterministic on the CSR words.
+func sameCSR(a, b *graph.Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	ao, aa := a.CSR()
+	bo, ba := b.CSR()
+	for i := range ao {
+		if ao[i] != bo[i] {
+			return false
+		}
+	}
+	for i := range aa {
+		if aa[i] != ba[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// minLoad times one load path loadReps times and keeps the fastest.
+func minLoad(load func() (time.Duration, error)) (time.Duration, error) {
+	best := time.Duration(0)
+	for i := 0; i < loadReps; i++ {
+		d, err := load()
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// LoadBench measures the three load paths on one dataset per graph class.
+// Datasets are connected first and written to a temp dir as both a text
+// edge list and a .bricsbin artifact; each path then loads its file back
+// and answers one BFS. The largest graph of the run carries the acceptance
+// ratio.
+func LoadBench(cfg Config) ([]LoadRow, error) {
+	dir, err := os.MkdirTemp("", "brics-load")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var rows []LoadRow
+	seen := map[gen.Class]bool{}
+	for _, ds := range gen.Datasets(cfg.scale()) {
+		if seen[ds.Class] {
+			continue
+		}
+		seen[ds.Class] = true
+		g := graph.Connect(ds.Build())
+		row := LoadRow{
+			Dataset: ds,
+			Name:    ds.Name,
+			Class:   string(ds.Class),
+			Nodes:   g.NumNodes(),
+			Edges:   g.NumEdges(),
+		}
+
+		txtPath := filepath.Join(dir, fmt.Sprintf("%s.txt", ds.Class))
+		binPath := filepath.Join(dir, fmt.Sprintf("%s.bricsbin", ds.Class))
+		f, err := os.Create(txtPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := repro_io.WriteEdgeList(f, g); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		if err := bincsr.WriteFile(binPath, g, bincsr.FlagConnected); err != nil {
+			return nil, err
+		}
+		for _, p := range []struct {
+			path string
+			size *int64
+		}{{txtPath, &row.TextBytes}, {binPath, &row.BinBytes}} {
+			st, err := os.Stat(p.path)
+			if err != nil {
+				return nil, err
+			}
+			*p.size = st.Size()
+		}
+
+		// Correctness gate before any timing: every load path must hand back
+		// the exact CSR words the generator built (farness bit-identity
+		// follows; the bincsr identity test additionally proves it end to
+		// end at several worker counts).
+		want := firstQuery(g)
+		gate := func(name string, got *graph.Graph) error {
+			if !sameCSR(g, got) {
+				return fmt.Errorf("%s: %s load path returned a different CSR", ds.Name, name)
+			}
+			if q := firstQuery(got); q != want {
+				return fmt.Errorf("%s: %s load path: BFS checksum %d, want %d", ds.Name, name, q, want)
+			}
+			return nil
+		}
+		gt, err := repro_io.ReadAny(txtPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := gate("text", gt); err != nil {
+			return nil, err
+		}
+		gb, err := bincsr.ReadFile(binPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := gate("binary", gb.G); err != nil {
+			return nil, err
+		}
+		m, err := bincsr.OpenMapped(binPath, bincsr.Options{Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		row.Mapped = m.Mapped()
+		gerr := gate("mmap", m.G)
+		if cerr := m.Close(); gerr == nil && cerr != nil {
+			gerr = cerr
+		}
+		if gerr != nil {
+			return nil, gerr
+		}
+
+		// Text parse TTFQ.
+		row.TextTTFQ, err = minLoad(func() (time.Duration, error) {
+			start := time.Now()
+			g, err := repro_io.ReadAny(txtPath)
+			if err != nil {
+				return 0, err
+			}
+			firstQuery(g)
+			return time.Since(start), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Binary buffered-read TTFQ.
+		row.BinTTFQ, err = minLoad(func() (time.Duration, error) {
+			start := time.Now()
+			art, err := bincsr.ReadFile(binPath)
+			if err != nil {
+				return 0, err
+			}
+			firstQuery(art.G)
+			return time.Since(start), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Mmap TTFQ, split into the open (header+offsets verify, no edge
+		// pages) and the first traversal (pages fault in here). The split
+		// reported is the one from the fastest run, so open + traversal sum
+		// to the TTFQ cell.
+		var best time.Duration
+		row.MmapTTFQ, err = minLoad(func() (time.Duration, error) {
+			start := time.Now()
+			m, err := bincsr.OpenMapped(binPath, bincsr.Options{Workers: cfg.Workers})
+			if err != nil {
+				return 0, err
+			}
+			opened := time.Since(start)
+			firstQuery(m.G)
+			total := time.Since(start)
+			if err := m.Close(); err != nil {
+				return 0, err
+			}
+			if best == 0 || total < best {
+				best = total
+				row.MmapOpen = opened
+				row.FirstTraversal = total - opened
+			}
+			return total, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if row.MmapTTFQ > 0 {
+			row.Speedup = float64(row.TextTTFQ) / float64(row.MmapTTFQ)
+		}
+		rows = append(rows, row)
+	}
+	// The acceptance criterion reads off the largest graph of the run.
+	largest := -1
+	for i, r := range rows {
+		if largest < 0 || r.Nodes > rows[largest].Nodes {
+			largest = i
+		}
+	}
+	if largest >= 0 {
+		rows[largest].Largest = true
+	}
+	return rows, nil
+}
+
+// FprintLoad renders the cold-start table.
+func FprintLoad(w io.Writer, rows []LoadRow) {
+	fmt.Fprintf(w, "Artifact load paths: time-to-first-query (load + one BFS), best of %d\n", loadReps)
+	fmt.Fprintf(w, "(CSR verified word-identical across all three paths before timing;\n")
+	fmt.Fprintf(w, " mmap open verifies header+offsets only — edge pages fault in during the first traversal)\n")
+	fmt.Fprintf(w, "%-28s %-10s %9s %9s %10s %10s %10s %10s %10s %9s\n",
+		"Graph", "Class", "text B", "bin B", "text ttfq", "bin ttfq", "mmap ttfq", "map+vrfy", "1st trav", "speedup")
+	for _, r := range rows {
+		mark := " "
+		if r.Largest {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%-27s%s %-10s %9d %9d %10s %10s %10s %10s %10s %8.1fx\n",
+			r.Name, mark, r.Class, r.TextBytes, r.BinBytes,
+			fmtDur(r.TextTTFQ), fmtDur(r.BinTTFQ), fmtDur(r.MmapTTFQ),
+			fmtDur(r.MmapOpen), fmtDur(r.FirstTraversal), r.Speedup)
+	}
+	fmt.Fprintf(w, "(* largest graph — the acceptance row for the mmap-vs-text ratio)\n")
+}
+
+// loadReport is the BENCH_load.json document.
+type loadReport struct {
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	Scale      float64   `json:"scale"`
+	Note       string    `json:"note"`
+	Rows       []LoadRow `json:"rows"`
+}
+
+// WriteLoadJSON writes the study to path as JSON so `make bench-load`
+// leaves a machine-readable record next to the text table.
+func WriteLoadJSON(path string, cfg Config, rows []LoadRow) error {
+	rep := loadReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Scale:      cfg.scale(),
+		Note: "Time-to-first-query (load + one full BFS) of the three graph load paths: text edge-list " +
+			"parse, buffered binary CSR read, and mmap zero-copy open. Best of " +
+			fmt.Sprint(loadReps) + " runs with a warm page cache (the registry steady state). " +
+			"mmap_open_ns covers map + header/offsets verification only; the adjacency pages fault in " +
+			"during mmap_first_traversal_ns. The CSR from every path was verified word-identical to the " +
+			"generated graph before timing, which pins bit-identical farness across paths. The row with " +
+			"largest=true carries the acceptance ratio (mmap TTFQ >= 10x faster than text parse).",
+		Rows: rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

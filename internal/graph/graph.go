@@ -22,6 +22,13 @@ import "fmt"
 // 0..n-1.
 type NodeID = int32
 
+// MaxNodeID bounds accepted node identifiers (2^27 ≈ 134M). Ids are used
+// directly as dense indices, so a single absurd id in a corrupt file would
+// otherwise allocate gigabytes; the largest paper dataset has 10^6 nodes.
+// Every untrusted loader (internal/io text parsers, internal/bincsr binary
+// artifacts) enforces this bound before allocating.
+const MaxNodeID = 1 << 27
+
 // Graph is a simple undirected graph in CSR form. Both directions of every
 // edge are stored, so len(Adj) == 2*NumEdges(). Adjacency lists are sorted
 // in increasing order and contain no duplicates and no self loops.
@@ -72,6 +79,61 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 // alias the graph's storage and must not be modified.
 func (g *Graph) CSR() (offsets []int64, adj []NodeID) {
 	return g.offsets, g.adj
+}
+
+// FromCSR wraps pre-built CSR arrays in a Graph without copying them.
+//
+// Aliasing contract: the Graph returned is a read-only *view* — it aliases
+// offsets and adj directly, so the caller must not modify either slice for
+// the lifetime of the graph, and the backing memory must outlive every
+// reader (for an mmap-backed artifact that means the mapping may only be
+// unmapped after all traversals over the graph have finished). Traversal
+// and reduction kernels run directly on the supplied arrays with no copy.
+//
+// Only the offsets array is checked here (non-empty, starts at 0, monotone,
+// ends at len(adj)) — a single O(n) pass over the small array. Neighbour
+// range, sortedness and symmetry are the caller's responsibility: binary
+// artifact loaders enforce them via checksums and Validate, trusted
+// builders by construction.
+func FromCSR(offsets []int64, adj []NodeID) (*Graph, error) {
+	if err := checkOffsets(offsets, int64(len(adj))); err != nil {
+		return nil, err
+	}
+	return &Graph{offsets: offsets, adj: adj}, nil
+}
+
+// WFromCSR is FromCSR for weighted graphs; weights must parallel adj. The
+// same aliasing contract applies to all three arrays.
+func WFromCSR(offsets []int64, adj []NodeID, weights []int32) (*WGraph, error) {
+	if err := checkOffsets(offsets, int64(len(adj))); err != nil {
+		return nil, err
+	}
+	if len(weights) != len(adj) {
+		return nil, fmt.Errorf("graph: weights length %d != adjacency length %d", len(weights), len(adj))
+	}
+	return &WGraph{offsets: offsets, adj: adj, weights: weights}, nil
+}
+
+// checkOffsets validates a CSR offsets array against an adjacency length.
+func checkOffsets(offsets []int64, adjLen int64) error {
+	if len(offsets) == 0 {
+		return fmt.Errorf("graph: empty offsets array")
+	}
+	if int64(len(offsets)-1) > MaxNodeID {
+		return fmt.Errorf("graph: %d nodes exceeds MaxNodeID (%d)", len(offsets)-1, MaxNodeID)
+	}
+	if offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", offsets[0])
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return fmt.Errorf("graph: offsets not monotone at node %d", i-1)
+		}
+	}
+	if last := offsets[len(offsets)-1]; last != adjLen {
+		return fmt.Errorf("graph: offsets end at %d, want adjacency length %d", last, adjLen)
+	}
+	return nil
 }
 
 // Clone returns a deep copy of g.

@@ -1,27 +1,38 @@
-// Package io reads and writes graph files. Readers accept the two formats
-// the paper's datasets ship in — SNAP whitespace edge lists and Matrix
-// Market coordinate files (UF Sparse Matrix collection) — optionally
-// gzip-compressed, and normalise per the paper's preprocessing: simple,
+// Package io reads and writes graph files. Readers accept the formats the
+// paper's datasets ship in — SNAP whitespace edge lists, Matrix Market
+// coordinate files (UF Sparse Matrix collection) and DIMACS .gr — optionally
+// gzip-compressed, plus the repo's own .bricsbin binary CSR artifacts
+// (package bincsr), and normalise per the paper's preprocessing: simple,
 // undirected, self-loop-free. Connectivity is the caller's choice
-// (graph.Connect).
+// (graph.Connect). ReadAny dispatches among all of them by extension and
+// magic-byte sniffing.
 package io
 
 import (
 	"bufio"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/bincsr"
 	"repro/internal/graph"
 )
 
 // MaxNodeID bounds accepted node identifiers (2^27 ≈ 134M). Ids are used
 // directly as dense indices, so a single absurd id in a corrupt file would
 // otherwise allocate gigabytes; the largest paper dataset has 10^6 nodes.
-const MaxNodeID = 1 << 27
+// Binary artifacts are bounded identically (it aliases graph.MaxNodeID, the
+// bound bincsr enforces).
+const MaxNodeID = graph.MaxNodeID
+
+// ErrTruncated reports an input shorter than its own framing promises: a
+// binary artifact cut mid-section, or a gzip stream missing its trailer. It
+// aliases bincsr.ErrTruncated so errors.Is works across both packages.
+var ErrTruncated = bincsr.ErrTruncated
 
 // ReadEdgeList parses a SNAP-style edge list: one "u v" pair per line,
 // '#' and '%' comment lines ignored. Node ids may be arbitrary
@@ -133,33 +144,88 @@ func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
 	return b.Build(), nil
 }
 
-// ReadFile loads a graph from a path, dispatching on extension: .mtx
-// (Matrix Market), .gr (DIMACS shortest path), anything else an edge
-// list; transparent .gz decompression.
-func ReadFile(path string) (*graph.Graph, error) {
+// ReadFile loads a graph from a path; it is ReadAny under the historical
+// name.
+func ReadFile(path string) (*graph.Graph, error) { return ReadAny(path) }
+
+// ReadAny loads a graph from a path in any supported format, dispatching on
+// extension — .bricsbin (binary CSR artifact), .mtx (Matrix Market), .gr
+// (DIMACS shortest path), anything else an edge list — with transparent .gz
+// decompression. A file whose first bytes are the bincsr magic is decoded
+// as an artifact regardless of its name, so renamed artifacts keep working
+// and a text parser never chews through binary data. Weighted artifacts
+// yield their unweighted view (every consumer of this entry point is an
+// unweighted analysis).
+//
+// Close errors from the file and any gzip layer are propagated: a
+// decompressor that detects a corrupt trailer only at Close must not let
+// the load report success. Short reads surface as ErrTruncated.
+func ReadAny(path string) (g *graph.Graph, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer closeKeepErr(&err, f)
 	var r io.Reader = f
 	name := path
 	if strings.HasSuffix(name, ".gz") {
-		gz, err := gzip.NewReader(f)
-		if err != nil {
-			return nil, fmt.Errorf("io: %s: %v", path, err)
+		gz, gerr := gzip.NewReader(f)
+		if gerr != nil {
+			return nil, fmt.Errorf("io: %s: %v", path, gerr)
 		}
-		defer gz.Close()
+		defer closeKeepErr(&err, gz)
 		r = gz
 		name = strings.TrimSuffix(name, ".gz")
 	}
+	tr := &truncTracker{r: r}
+	br := bufio.NewReaderSize(tr, 1<<20)
+	magic, _ := br.Peek(len(bincsr.Magic))
 	switch {
+	case strings.HasSuffix(name, ".bricsbin") || string(magic) == bincsr.Magic:
+		art, aerr := bincsr.Read(br)
+		if aerr != nil {
+			return nil, fmt.Errorf("io: %s: %w", path, aerr)
+		}
+		return art.G, nil
 	case strings.HasSuffix(name, ".mtx"):
-		return ReadMatrixMarket(r)
+		g, err = ReadMatrixMarket(br)
 	case strings.HasSuffix(name, ".gr"):
-		return ReadDIMACS(r)
+		g, err = ReadDIMACS(br)
 	default:
-		return ReadEdgeList(r)
+		g, err = ReadEdgeList(br)
+	}
+	// A truncated stream (a gzip body cut short, say) usually fails the
+	// parser first — the decompressed tail is half a line — so the stream's
+	// own truncation signal, not the confused parse error, is the root
+	// cause to report.
+	if err != nil && (tr.truncated || errors.Is(err, io.ErrUnexpectedEOF)) {
+		err = fmt.Errorf("%w: %s: %v", ErrTruncated, path, err)
+	} else if err == nil && tr.truncated {
+		return nil, fmt.Errorf("%w: %s", ErrTruncated, path)
+	}
+	return g, err
+}
+
+// truncTracker remembers whether the wrapped reader ever reported an
+// unexpected EOF, so ReadAny can attribute downstream parse failures to the
+// real cause.
+type truncTracker struct {
+	r         io.Reader
+	truncated bool
+}
+
+func (t *truncTracker) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		t.truncated = true
+	}
+	return n, err
+}
+
+// closeKeepErr closes c, surfacing its error unless one is already set.
+func closeKeepErr(err *error, c io.Closer) {
+	if cerr := c.Close(); cerr != nil && *err == nil {
+		*err = cerr
 	}
 }
 

@@ -1,0 +1,144 @@
+package io
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bincsr"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func sameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape differs: (%d,%d) vs (%d,%d)",
+			a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	ao, aa := a.CSR()
+	bo, ba := b.CSR()
+	for i := range ao {
+		if ao[i] != bo[i] {
+			t.Fatalf("offsets differ at %d", i)
+		}
+	}
+	for i := range aa {
+		if aa[i] != ba[i] {
+			t.Fatalf("adjacency differs at %d", i)
+		}
+	}
+}
+
+func TestReadAnyDispatch(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.Connect(gen.Web(300, 3))
+
+	// By extension.
+	binPath := filepath.Join(dir, "g.bricsbin")
+	if err := bincsr.WriteFile(binPath, g, bincsr.FlagConnected); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAny(binPath)
+	if err != nil {
+		t.Fatalf("ReadAny(.bricsbin): %v", err)
+	}
+	sameGraph(t, g, got)
+
+	// By magic sniff: same bytes under a text-looking name.
+	data, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sniffed := filepath.Join(dir, "renamed.txt")
+	if err := os.WriteFile(sniffed, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAny(sniffed)
+	if err != nil {
+		t.Fatalf("ReadAny(sniffed artifact): %v", err)
+	}
+	sameGraph(t, g, got)
+
+	// Text edge list still parses (and must not be mistaken for binary).
+	txt := filepath.Join(dir, "g.txt")
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(txt, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAny(txt)
+	if err != nil {
+		t.Fatalf("ReadAny(.txt): %v", err)
+	}
+	sameGraph(t, g, got)
+
+	// Gzipped artifact: decompression layered under the sniff.
+	gzPath := filepath.Join(dir, "g.bricsbin.gz")
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(gzPath, zbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAny(gzPath)
+	if err != nil {
+		t.Fatalf("ReadAny(.bricsbin.gz): %v", err)
+	}
+	sameGraph(t, g, got)
+}
+
+func TestReadAnyTruncated(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.Connect(gen.Road(200, 4))
+	binPath := filepath.Join(dir, "g.bricsbin")
+	if err := bincsr.WriteFile(binPath, g, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.bricsbin")
+	if err := os.WriteFile(cut, data[:len(data)-32], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAny(cut); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated artifact: err = %v, want ErrTruncated", err)
+	}
+	// ErrTruncated and bincsr.ErrTruncated are one sentinel.
+	if _, err := ReadAny(cut); !errors.Is(err, bincsr.ErrTruncated) {
+		t.Fatalf("sentinel aliasing broken: %v", err)
+	}
+
+	// A gzip stream cut mid-body is a short read too.
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	var ebuf bytes.Buffer
+	if err := WriteEdgeList(&ebuf, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zw.Write(ebuf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	zcut := filepath.Join(dir, "cut.txt.gz")
+	if err := os.WriteFile(zcut, zbuf.Bytes()[:zbuf.Len()-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAny(zcut); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated gzip: err = %v, want ErrTruncated", err)
+	}
+}

@@ -198,6 +198,7 @@ func (s *Server) estimate(ctx context.Context, key string, opts core.Options, de
 	gen.mu.Unlock()
 
 	s.trackRun(f)
+	s.runWG.Add(1)
 	go s.run(fctx, gen, key, f, opts)
 	return s.wait(ctx, gen, key, f, degrade)
 }
@@ -208,6 +209,7 @@ func (s *Server) estimate(ctx context.Context, key string, opts core.Options, de
 // next identical request starts a fresh run. Always releases the admission
 // slot and retires the flight from the status registry.
 func (s *Server) run(fctx context.Context, gen *generation, key string, f *flight, opts core.Options) {
+	defer s.runWG.Done()
 	defer func() { <-s.sem }()
 	defer s.untrackRun(f)
 	defer f.cancel()

@@ -81,6 +81,13 @@ type Config struct {
 	// selects the sketch package defaults; Workers is inherited from the
 	// server when unset.
 	Sketch sketch.Options
+	// AssumeConnected skips the O(n+m) connectivity check at construction.
+	// The registry sets it for artifacts whose FlagConnected records that
+	// the converter already verified connectivity — the check would fault in
+	// every page of an mmap-loaded graph and defeat the lazy load. A lying
+	// flag surfaces as an error on the first edge mutation (the dynamic
+	// index re-checks when it is built).
+	AssumeConnected bool
 }
 
 func (c Config) withDefaults() Config {
@@ -107,7 +114,14 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	gen  atomic.Pointer[generation] // current graph snapshot + caches; lock-free reads
 	ixMu sync.Mutex                 // serialises edge mutations on ix
-	ix   *dynamic.Index
+	// ix is the exact incremental farness index. It is built lazily, on the
+	// first edge mutation: construction costs one BFS per node, which would
+	// dominate time-to-first-query — and fault in every page of an
+	// mmap-loaded graph — on the overwhelmingly common mutation-free path.
+	// The index copies the adjacency into its own maps, so once it exists,
+	// mutations never write through to the (possibly mapped, read-only)
+	// initial graph. Guarded by ixMu.
+	ix *dynamic.Index
 
 	cfg        Config
 	sem        chan struct{}   // admission slots for estimation runs
@@ -128,6 +142,13 @@ type Server struct {
 	durMu sync.Mutex
 	durs  [32]time.Duration
 	durI  int
+
+	// runWG counts detached estimation goroutines (Server.run). They can
+	// outlive the HTTP requests that started them (waiters time out, the run
+	// keeps computing for the cache), so an owner about to invalidate the
+	// graph's backing memory — the registry, before munmap — must Close and
+	// then WaitRuns.
+	runWG sync.WaitGroup
 }
 
 // New builds a server over a connected graph with default admission and
@@ -136,16 +157,16 @@ func New(g *graph.Graph, workers int) (*Server, error) {
 	return NewWithConfig(g, Config{Workers: workers})
 }
 
-// NewWithConfig builds a server over a connected graph.
+// NewWithConfig builds a server over a connected graph. The graph is served
+// as-is — it may be a read-only CSR view over mapped memory (bincsr.Mapped);
+// the first edge mutation copies it into the dynamic index's own storage.
 func NewWithConfig(g *graph.Graph, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	ix, err := dynamic.New(g, cfg.Workers)
-	if err != nil {
-		return nil, err
+	if !cfg.AssumeConnected && !graph.IsConnected(g) {
+		return nil, fmt.Errorf("server: graph must be connected")
 	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	s := &Server{
-		ix:         ix,
 		cfg:        cfg,
 		sem:        make(chan struct{}, cfg.MaxInflight),
 		baseCtx:    baseCtx,
@@ -154,7 +175,7 @@ func NewWithConfig(g *graph.Graph, cfg Config) (*Server, error) {
 		runs:       make(map[*flight]struct{}),
 	}
 	s.genSeq.Store(1)
-	s.gen.Store(newGeneration(ix.Snapshot(), 1))
+	s.gen.Store(newGeneration(g, 1))
 	s.ready.Store(true)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
@@ -179,6 +200,12 @@ func (s *Server) Close() {
 	s.ready.Store(false)
 	s.baseCancel()
 }
+
+// WaitRuns blocks until every detached estimation goroutine has exited.
+// Call after Close (which aborts their contexts) and before invalidating
+// the graph's backing memory — e.g. unmapping a bincsr artifact: a run
+// traversing an unmapped CSR view is a segfault, not an error.
+func (s *Server) WaitRuns() { s.runWG.Wait() }
 
 // ServeHTTP implements http.Handler. A panic in any handler is converted to
 // a 500 response instead of crashing the daemon (http.ErrAbortHandler is
@@ -309,15 +336,9 @@ type statusBody struct {
 	RetryAfter      int         `json:"retryAfter"`
 }
 
-// handleStatus reports the server's live state: current generation id, graph
-// size, every in-flight estimation run with its progress fraction, the cache
-// population, and the Retry-After hint a shed request would receive now.
-// Like /healthz it never blocks behind an estimation.
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
+// statusSnapshot assembles the server's live state; handleStatus serves it
+// directly and the multi-graph registry embeds it per graph.
+func (s *Server) statusSnapshot() statusBody {
 	gen := s.gen.Load()
 	gen.mu.Lock()
 	cached := len(gen.cache)
@@ -343,7 +364,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			ElapsedMillis: now.Sub(f.started).Milliseconds(),
 		})
 	}
-	writeJSON(w, http.StatusOK, body)
+	return body
+}
+
+// handleStatus reports the server's live state: current generation id, graph
+// size, every in-flight estimation run with its progress fraction, the cache
+// population, and the Retry-After hint a shed request would receive now.
+// Like /healthz it never blocks behind an estimation.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusSnapshot())
 }
 
 type graphBody struct {
@@ -713,6 +746,22 @@ type edgeResult struct {
 	Edges    int `json:"edges"`
 }
 
+// ensureIndex builds the dynamic farness index on first use, under ixMu.
+// This is where a mutation-bound server pays the one-BFS-per-node setup the
+// constructor deferred — and where a graph falsely flagged connected
+// (Config.AssumeConnected) is finally caught.
+func (s *Server) ensureIndex() error {
+	if s.ix != nil {
+		return nil
+	}
+	ix, err := dynamic.New(s.gen.Load().g, s.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	s.ix = ix
+	return nil
+}
+
 // mutate applies one edge update under the mutation lock and, on success,
 // installs a fresh generation: new snapshot, empty cache, no flights, next
 // id. Runs still computing against the old generation finish (and cache)
@@ -722,6 +771,9 @@ func (s *Server) mutate(apply func() error) (affected, edges int, err error) {
 	s.ixMu.Lock()
 	defer s.ixMu.Unlock()
 	if err := fault.Inject(context.Background(), "server.mutate"); err != nil {
+		return 0, s.gen.Load().g.NumEdges(), err
+	}
+	if err := s.ensureIndex(); err != nil {
 		return 0, s.gen.Load().g.NumEdges(), err
 	}
 	err = apply()
